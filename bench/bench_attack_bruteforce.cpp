@@ -1,0 +1,68 @@
+// Experiment E7a (paper Section VI.B.1): brute-force attack — random
+// programming-bit combinations against the oracle, with the paper's
+// per-trial cost projection (20 simulated minutes per SNR point;
+// re-fabbed hardware trials at ~10 ms each).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "attack/brute_force.h"
+#include "attack/cost_model.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace analock;
+
+void run_bruteforce() {
+  const rf::Standard& mode = rf::standard_max_3ghz();
+  auto chip = bench::make_calibrated_chip(mode);
+  auto ev = bench::make_evaluator(mode, chip);
+
+  bench::banner("Sec. VI.B.1 — brute-force attack",
+                "random 64-bit keys vs the full performance specification");
+
+  for (const bool forced : {false, true}) {
+    attack::BruteForceAttack bf(ev, sim::Rng(4242 + (forced ? 1 : 0)));
+    attack::BruteForceOptions options;
+    options.max_trials = 400;
+    options.force_mission_mode = forced;
+    ev.reset_trials();
+    const auto result = bf.run(options);
+
+    const auto above_10 = std::count_if(
+        result.screen_snr_db.begin(), result.screen_snr_db.end(),
+        [](double s) { return s > 10.0; });
+    std::printf("\n%s mode bits:\n",
+                forced ? "reverse-engineered (forced mission)" : "random");
+    std::printf("  trials             : %llu\n",
+                (unsigned long long)result.trials);
+    std::printf("  success            : %s\n", result.success ? "YES" : "no");
+    std::printf("  best screen SNR    : %.1f dB (spec %.0f dB)\n",
+                result.best_screen_snr_db, mode.spec.min_snr_db);
+    std::printf("  screens above 10 dB: %lld/%zu\n", (long long)above_10,
+                result.screen_snr_db.size());
+    std::printf("  projected cost     : %.1f h transistor-level simulation "
+                "(paper: 20 min/SNR point) | %.1f s on re-fabbed hardware\n",
+                result.cost.simulation_hours(),
+                result.cost.hardware_seconds());
+  }
+
+  std::printf("\nkeyspace projection: even a generous 2^-40 unlocking "
+              "fraction needs ~%.1e trials = %.1e years of simulation or "
+              "%.1e years on hardware (plus the re-fab itself)\n",
+              attack::expected_trials(64, std::pow(2.0, -40.0)),
+              attack::simulation_years(
+                  attack::expected_trials(64, std::pow(2.0, -40.0))),
+              attack::hardware_years(
+                  attack::expected_trials(64, std::pow(2.0, -40.0))));
+}
+
+void BM_BruteForce(benchmark::State& state) {
+  for (auto _ : state) run_bruteforce();
+}
+BENCHMARK(BM_BruteForce)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

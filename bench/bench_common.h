@@ -1,0 +1,69 @@
+// Shared plumbing for the paper-experiment benches: chip fabrication +
+// calibration, deceptive-key construction, and table printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "calib/calibrator.h"
+#include "lock/evaluator.h"
+#include "lock/key_layout.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace analock::bench {
+
+/// One fabricated + calibrated chip instance.
+struct Chip {
+  sim::ProcessVariation pv;
+  sim::Rng rng;
+  calib::CalibrationResult cal;
+};
+
+/// Master seed shared by every bench so figures are reproducible and
+/// mutually consistent.
+inline constexpr std::uint64_t kBenchSeed = 20260704;
+
+/// Fabricates chip `chip_id` and runs the full 14-step calibration.
+inline Chip make_calibrated_chip(const rf::Standard& standard,
+                                 std::uint64_t chip_id = 0,
+                                 std::uint64_t seed = kBenchSeed) {
+  sim::Rng master(seed);
+  Chip chip{sim::ProcessVariation::monte_carlo(master, chip_id),
+            master.fork("chip", chip_id), {}};
+  calib::Calibrator calibrator(standard, chip.pv, chip.rng);
+  chip.cal = calibrator.run();
+  return chip;
+}
+
+inline lock::LockEvaluator make_evaluator(const rf::Standard& standard,
+                                          const Chip& chip,
+                                          lock::EvaluatorOptions options = {}) {
+  return lock::LockEvaluator(standard, chip.pv, chip.rng, options);
+}
+
+/// The paper's "deceptive" invalid-key class (key #7 in Figs. 7-12):
+/// feedback loop open + comparator un-clocked, everything else as the
+/// correct key.
+inline lock::Key64 make_deceptive_key(const lock::Key64& correct) {
+  using L = lock::KeyLayout;
+  return correct.with_bit(L::kFeedbackEnable, false)
+      .with_bit(L::kCompClockEnable, false);
+}
+
+/// Section-header banner for the bench stdout reports.
+inline void banner(const char* experiment, const char* description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("==============================================================\n");
+}
+
+/// Clamps the unbounded "no signal found" floor for display (the paper's
+/// plots bottom out around -40 dB).
+inline double display_snr(double snr_db) {
+  return snr_db < -60.0 ? -60.0 : snr_db;
+}
+
+}  // namespace analock::bench

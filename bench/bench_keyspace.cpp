@@ -1,0 +1,119 @@
+// Experiment E8 (paper Section VI.B.1): key-space structure — the
+// fraction of random keys meeting the specification, the mission-mode
+// prior, uniqueness of binary-weighted capacitor sub-keys, and the
+// resulting search-space projections.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "attack/cost_model.h"
+#include "bench_common.h"
+#include "rf/lc_tank.h"
+
+namespace {
+
+using namespace analock;
+
+void run_keyspace() {
+  const rf::Standard& mode = rf::standard_max_3ghz();
+  auto chip = bench::make_calibrated_chip(mode);
+  auto ev = bench::make_evaluator(mode, chip);
+
+  bench::banner("Sec. VI.B.1 — key-space structure",
+                "unlocking fraction, mode-bit prior, cap sub-key uniqueness");
+
+  // Mission-mode prior: 6 mode bits must all be correct.
+  sim::Rng rng(555);
+  int mission = 0;
+  const int n_prior = 100000;
+  for (int i = 0; i < n_prior; ++i) {
+    if (lock::is_mission_mode(lock::Key64::random(rng))) ++mission;
+  }
+  std::printf("mission-mode prior: %.4f (theory 1/64 = %.4f)\n",
+              static_cast<double>(mission) / n_prior, 1.0 / 64.0);
+
+  // Unlocking fraction of random keys (SNR screen + full spec).
+  sim::Rng key_rng(556);
+  const int n_keys = 500;
+  int screen_pass = 0;
+  int unlocked = 0;
+  for (int i = 0; i < n_keys; ++i) {
+    const lock::Key64 k = lock::Key64::random(key_rng);
+    if (ev.snr_modulator_db(k) < mode.spec.min_snr_db) continue;
+    ++screen_pass;
+    const auto report = ev.evaluate(k);
+    if (report.unlocked()) ++unlocked;
+  }
+  std::printf("random keys passing the SNR screen : %d/%d\n", screen_pass,
+              n_keys);
+  std::printf("random keys meeting the full spec  : %d/%d\n", unlocked,
+              n_keys);
+
+  // Binary-weighted capacitor arrays: a desired capacitance has a unique
+  // sub-key (distinct codes -> distinct values, monotone).
+  const rf::LcTank tank(chip.pv);
+  std::set<long long> caps;
+  bool monotone = true;
+  double prev = -1.0;
+  for (std::uint32_t c = 0; c <= 255; ++c) {
+    const double value = tank.capacitance(c, 0);
+    caps.insert(std::llround(value * 1e21));
+    if (value <= prev) monotone = false;
+    prev = value;
+  }
+  std::printf("coarse cap codes -> distinct values: %zu/256 (monotone: %s)\n",
+              caps.size(), monotone ? "yes" : "no");
+
+  // Sensitivity: how far can each field deviate before the spec breaks?
+  using L = lock::KeyLayout;
+  struct Field {
+    const char* name;
+    sim::BitRange range;
+  };
+  const Field fields[] = {
+      {"cap-coarse", L::kCapCoarse}, {"cap-fine", L::kCapFine},
+      {"q-enh", L::kQEnh},           {"gmin-bias", L::kGminBias},
+      {"dac-bias", L::kDacBias},     {"loop-delay", L::kLoopDelay},
+      {"vglna-gain", L::kVglnaGain},
+  };
+  std::printf("\nper-field tolerance around the calibrated code (receiver "
+              "SNR >= %.0f dB):\n", mode.spec.min_snr_db);
+  for (const auto& f : fields) {
+    const auto center = chip.cal.key.field(f.range);
+    auto ok = [&](std::int64_t code) {
+      if (code < 0 ||
+          code > static_cast<std::int64_t>(f.range.max_value())) {
+        return false;
+      }
+      const auto k = chip.cal.key.with_field(
+          f.range, static_cast<std::uint64_t>(code));
+      return ev.snr_receiver_db(k) >= mode.spec.min_snr_db;
+    };
+    std::int64_t lo = static_cast<std::int64_t>(center);
+    while (ok(lo - 1)) --lo;
+    std::int64_t hi = static_cast<std::int64_t>(center);
+    while (ok(hi + 1)) ++hi;
+    std::printf("  %-11s code %3llu, tolerated range [%lld, %lld] "
+                "(width %lld of %llu)\n",
+                f.name, (unsigned long long)center, (long long)lo,
+                (long long)hi, (long long)(hi - lo + 1),
+                (unsigned long long)(f.range.max_value() + 1));
+  }
+
+  std::printf("\nsearch-space projection: with an optimistic unlocking "
+              "fraction of 1e-6, expected trials = %.1e -> %.1e years of "
+              "simulation at 20 min/point\n",
+              attack::expected_trials(64, 1e-6),
+              attack::simulation_years(attack::expected_trials(64, 1e-6)));
+}
+
+void BM_Keyspace(benchmark::State& state) {
+  for (auto _ : state) run_keyspace();
+}
+BENCHMARK(BM_Keyspace)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

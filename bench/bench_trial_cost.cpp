@@ -1,0 +1,76 @@
+// Experiment E7d (paper Section VI.B.1 timing claims): per-trial
+// measurement cost. The paper reports ~20 minutes per SNR point, ~3 hours
+// per input-range sweep and ~30 minutes per SFDR point on transistor-level
+// simulation. These google-benchmarks time the behavioral equivalents and
+// print the projected silicon-simulation cost side by side.
+#include <benchmark/benchmark.h>
+
+#include "attack/cost_model.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace analock;
+
+struct Fixture {
+  bench::Chip chip;
+  lock::LockEvaluator ev;
+  Fixture()
+      : chip(bench::make_calibrated_chip(rf::standard_max_3ghz())),
+        ev(bench::make_evaluator(rf::standard_max_3ghz(), chip)) {}
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_SnrModulatorPoint(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ev.snr_modulator_db(f.chip.cal.key));
+  }
+  state.counters["paper_minutes"] = 20.0;
+}
+BENCHMARK(BM_SnrModulatorPoint)->Unit(benchmark::kMillisecond);
+
+void BM_SnrReceiverPoint(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ev.snr_receiver_db(f.chip.cal.key));
+  }
+  state.counters["paper_minutes"] = 20.0;
+}
+BENCHMARK(BM_SnrReceiverPoint)->Unit(benchmark::kMillisecond);
+
+void BM_SfdrPoint(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ev.sfdr_db(f.chip.cal.key));
+  }
+  state.counters["paper_minutes"] = 30.0;
+}
+BENCHMARK(BM_SfdrPoint)->Unit(benchmark::kMillisecond);
+
+void BM_InputRangeSweep(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    for (double dbm = -85.0; dbm <= 0.01; dbm += 5.0) {
+      benchmark::DoNotOptimize(f.ev.snr_receiver_db(f.chip.cal.key, dbm));
+    }
+  }
+  state.counters["paper_hours"] = 3.0;
+}
+BENCHMARK(BM_InputRangeSweep)->Unit(benchmark::kSecond);
+
+void BM_FullSpecCheck(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ev.evaluate(f.chip.cal.key));
+  }
+}
+BENCHMARK(BM_FullSpecCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#include "attack/brute_force.h"
+
+#include "lock/key_layout.h"
+
+namespace analock::attack {
+
+BruteForceResult BruteForceAttack::run(const BruteForceOptions& options) {
+  BruteForceResult result;
+  result.screen_snr_db.reserve(options.max_trials);
+  const double spec_snr = evaluator_->standard().spec.min_snr_db;
+
+  for (std::uint64_t t = 0; t < options.max_trials; ++t) {
+    lock::Key64 key = lock::Key64::random(rng_);
+    if (options.force_mission_mode) key = lock::force_mission_mode(key);
+    ++result.trials;
+
+    const double screen = evaluator_->snr_modulator_db(key);
+    ++result.cost.snr_trials;
+    result.screen_snr_db.push_back(screen);
+    if (screen > result.best_screen_snr_db) {
+      result.best_screen_snr_db = screen;
+      result.best_key = key;
+    }
+    if (screen < options.screen_snr_db) continue;
+
+    // Candidate: full receiver-output verification.
+    const double rx = evaluator_->snr_receiver_db(key);
+    ++result.cost.snr_trials;
+    if (rx > result.best_receiver_snr_db) result.best_receiver_snr_db = rx;
+    if (rx >= spec_snr) {
+      const double sfdr = evaluator_->sfdr_db(key);
+      ++result.cost.sfdr_trials;
+      if (sfdr >= evaluator_->standard().spec.min_sfdr_db) {
+        result.success = true;
+        result.best_key = key;
+        result.best_receiver_snr_db = rx;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace analock::attack

@@ -1,0 +1,44 @@
+#include "attack/cost_model.h"
+
+#include <cmath>
+#include <limits>
+
+namespace analock::attack {
+
+double AttackCost::simulation_hours(const TrialCosts& c) const {
+  return static_cast<double>(snr_trials) * c.snr_sim_minutes / 60.0 +
+         static_cast<double>(sweep_trials) * c.sweep_sim_hours +
+         static_cast<double>(sfdr_trials) * c.sfdr_sim_minutes / 60.0;
+}
+
+double AttackCost::hardware_seconds(const TrialCosts& c) const {
+  return static_cast<double>(snr_trials + sweep_trials + sfdr_trials) *
+         c.hw_trial_seconds;
+}
+
+AttackCost& AttackCost::operator+=(const AttackCost& other) {
+  snr_trials += other.snr_trials;
+  sweep_trials += other.sweep_trials;
+  sfdr_trials += other.sfdr_trials;
+  return *this;
+}
+
+double expected_trials(unsigned key_bits, double success_fraction) {
+  if (success_fraction <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double keyspace = std::pow(2.0, static_cast<double>(key_bits));
+  // Sampling with replacement: geometric distribution mean 1/p, capped by
+  // the exhaustive bound.
+  return std::min(keyspace, 1.0 / success_fraction);
+}
+
+double simulation_years(double trials, const TrialCosts& c) {
+  return trials * c.snr_sim_minutes / 60.0 / 24.0 / 365.25;
+}
+
+double hardware_years(double trials, const TrialCosts& c) {
+  return trials * c.hw_trial_seconds / 3600.0 / 24.0 / 365.25;
+}
+
+}  // namespace analock::attack

@@ -1,0 +1,59 @@
+// Attack cost accounting (paper Section VI.B.1).
+//
+// The paper measures, on the authors' simulation infrastructure, ~20
+// minutes per SNR point at the receiver output, ~3 hours for an
+// input-range sweep, and ~30 minutes per SFDR measurement. Brute-force or
+// optimization attacks by simulation are therefore impractical; in
+// hardware the attacker must first re-fabricate the chip to gain direct
+// access to the programming bits. This model converts trial counts from
+// our (fast, behavioral) attack runs into projected wall-clock costs on
+// both substrates.
+#pragma once
+
+#include <cstdint>
+
+namespace analock::attack {
+
+/// Per-trial costs of the measurement primitives.
+struct TrialCosts {
+  double snr_sim_minutes = 20.0;    ///< transistor-level SNR simulation
+  double sweep_sim_hours = 3.0;     ///< SNR across the input range
+  double sfdr_sim_minutes = 30.0;   ///< two-tone SFDR simulation
+  /// Hardware trial on a re-fabbed chip: key load + capture + FFT.
+  double hw_trial_seconds = 0.010;
+  /// One-time cost of re-fabricating the design to access key bits.
+  double refab_weeks = 16.0;
+  double refab_usd = 2.0e6;  ///< mask + run cost, advanced node
+};
+
+/// Accumulated measurements of an attack run.
+struct AttackCost {
+  std::uint64_t snr_trials = 0;
+  std::uint64_t sweep_trials = 0;
+  std::uint64_t sfdr_trials = 0;
+
+  /// Projected simulation time if each trial ran at the paper's
+  /// transistor-level cost (hours).
+  [[nodiscard]] double simulation_hours(const TrialCosts& c = {}) const;
+
+  /// Projected time on re-fabbed hardware, excluding the re-fab itself
+  /// (seconds).
+  [[nodiscard]] double hardware_seconds(const TrialCosts& c = {}) const;
+
+  AttackCost& operator+=(const AttackCost& other);
+};
+
+/// Expected number of random-key trials to hit a satisfactory key when a
+/// fraction `success_fraction` of the 2^key_bits keyspace unlocks the
+/// chip. Returns +inf if the fraction is zero.
+[[nodiscard]] double expected_trials(unsigned key_bits,
+                                     double success_fraction);
+
+/// Years of simulation needed for `trials` at the paper's per-SNR cost.
+[[nodiscard]] double simulation_years(double trials,
+                                      const TrialCosts& c = {});
+
+/// Years on re-fabbed hardware for `trials`.
+[[nodiscard]] double hardware_years(double trials, const TrialCosts& c = {});
+
+}  // namespace analock::attack

@@ -1,0 +1,76 @@
+// Calibration-retrace attack and the algorithm-secrecy metric
+// (paper Section IV.B.4 / VI.B.2).
+//
+// The paper argues the off-chip calibration algorithm is itself a secret:
+// an attacker must reconstruct (a) the multiple chip reconfigurations,
+// (b) the simulation-derived initial bias words, (c) the block ordering,
+// and (d) cope with the feedback loop. It also notes that "a metric to
+// quantify the difficulty for reverse-engineering a calibration
+// algorithm will need to be devised".
+//
+// This module provides that experiment: an attacker parameterized by a
+// knowledge level re-runs whatever part of the procedure they know, and
+// the metric is the (success rate, oracle-trial cost) as a function of
+// knowledge — i.e., how much each secret ingredient of the algorithm is
+// actually worth.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/cost_model.h"
+#include "lock/evaluator.h"
+#include "lock/key64.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace analock::attack {
+
+/// How much of the secret calibration algorithm the attacker has
+/// reconstructed from the netlist.
+enum class CalibrationKnowledge {
+  /// Knows the tuning fields exist (netlist-level reverse engineering)
+  /// but nothing about the procedure: plain coordinate descent from
+  /// nominal-ish mid-scale codes.
+  kFieldsOnly,
+  /// Additionally reverse-engineered the oscillation-mode trick
+  /// (steps 1-7): can tune the capacitor arrays and the -Gm backoff,
+  /// but sweeps the biases blind and in an arbitrary order.
+  kOscillationTrick,
+  /// Full algorithm (= the design house's procedure): steps 1-14 with
+  /// the right ordering and the spec-margin objective.
+  kFullAlgorithm,
+};
+
+[[nodiscard]] const char* to_string(CalibrationKnowledge knowledge);
+
+struct RetraceResult {
+  CalibrationKnowledge knowledge{};
+  bool success = false;
+  lock::Key64 key{};
+  double snr_receiver_db = -200.0;
+  double sfdr_db = -200.0;
+  std::uint64_t trials = 0;
+  AttackCost cost;
+};
+
+/// Runs the retrace attempt against one chip. The chip is identified by
+/// (standard, process, rng) exactly as the legitimate calibration would
+/// see it — the attacker has working silicon (the paper's oracle
+/// assumption) after re-fabbing for programming-bit access.
+class RetraceAttack {
+ public:
+  RetraceAttack(const rf::Standard& standard,
+                const sim::ProcessVariation& process,
+                const sim::Rng& chip_rng)
+      : standard_(&standard), process_(process), chip_rng_(chip_rng) {}
+
+  RetraceResult run(CalibrationKnowledge knowledge);
+
+ private:
+  const rf::Standard* standard_;
+  sim::ProcessVariation process_;
+  sim::Rng chip_rng_;
+};
+
+}  // namespace analock::attack

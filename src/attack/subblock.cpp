@@ -1,0 +1,109 @@
+#include "attack/subblock.h"
+
+#include <algorithm>
+
+#include "lock/key_layout.h"
+
+namespace analock::attack {
+
+namespace {
+
+using L = lock::KeyLayout;
+
+struct NamedField {
+  const char* name;
+  sim::BitRange range;
+};
+
+constexpr std::array<NamedField, 10> kFields{{
+    {"vglna-gain", L::kVglnaGain},
+    {"cap-coarse", L::kCapCoarse},
+    {"cap-fine", L::kCapFine},
+    {"q-enh", L::kQEnh},
+    {"gmin-bias", L::kGminBias},
+    {"dac-bias", L::kDacBias},
+    {"preamp-bias", L::kPreampBias},
+    {"comp-bias", L::kCompBias},
+    {"loop-delay", L::kLoopDelay},
+    {"out-buffer", L::kOutBuffer},
+}};
+
+}  // namespace
+
+SubBlockResult SubBlockAttack::run(const lock::Key64& reference_key,
+                                   const SubBlockOptions& options) {
+  SubBlockResult result;
+
+  auto measure = [&](const lock::Key64& k) {
+    ++result.trials;
+    ++result.cost.snr_trials;
+    return evaluator_->snr_modulator_db(k);
+  };
+
+  auto sweep_field = [&](lock::Key64 base, sim::BitRange range,
+                         double& best_snr_out) {
+    const std::uint64_t max_value = range.max_value();
+    const std::uint64_t stride = std::max<std::uint64_t>(
+        1, (max_value + 1) / options.max_trials_per_field);
+    std::uint64_t best_code = 0;
+    double best_snr = -300.0;
+    for (std::uint64_t code = 0; code <= max_value; code += stride) {
+      const double snr = measure(base.with_field(range, code));
+      if (snr > best_snr) {
+        best_snr = snr;
+        best_code = code;
+      }
+    }
+    best_snr_out = best_snr;
+    return best_code;
+  };
+
+  // Phase 1 — isolated: every other field random (the attacker's chip in
+  // an arbitrary state while they probe one knob).
+  lock::Key64 random_base = lock::Key64::random(rng_);
+  if (options.force_mission_mode) {
+    random_base = lock::force_mission_mode(random_base);
+  }
+  lock::Key64 assembled = random_base;
+  for (const auto& f : kFields) {
+    SubBlockFieldResult fr;
+    fr.name = f.name;
+    fr.reference_code = reference_key.field(f.range);
+    fr.isolated_best_code =
+        sweep_field(random_base, f.range, fr.isolated_snr_db);
+    assembled = assembled.with_field(f.range, fr.isolated_best_code);
+    result.fields.push_back(fr);
+  }
+  result.assembled_key = assembled;
+  result.assembled_snr_db = evaluator_->snr_receiver_db(assembled);
+  result.assembled_sfdr_db = evaluator_->sfdr_db(assembled);
+  ++result.cost.snr_trials;
+  ++result.cost.sfdr_trials;
+  result.trials += 2;
+  const auto& spec = evaluator_->standard().spec;
+  result.assembled_unlocks = result.assembled_snr_db >= spec.min_snr_db &&
+                             result.assembled_sfdr_db >= spec.min_sfdr_db;
+
+  // Phase 2 — conditioned: same per-field sweeps, but run in calibration
+  // order on a base that keeps every previously-found field (showing that
+  // the blocks are only tunable once the loop context is right).
+  lock::Key64 conditioned = reference_key;
+  for (std::size_t i = 0; i < kFields.size(); ++i) {
+    // Start each sweep from the reference key with THIS field scrambled:
+    // the sweep must recover it from the conditioned context.
+    const auto& f = kFields[i];
+    lock::Key64 base = conditioned.with_field(
+        f.range, rng_.uniform_below(f.range.max_value() + 1));
+    double snr = -300.0;
+    const std::uint64_t code = sweep_field(base, f.range, snr);
+    result.fields[i].conditioned_best_code = code;
+    result.fields[i].conditioned_snr_db = snr;
+    conditioned = base.with_field(f.range, code);
+  }
+  result.conditioned_snr_db = evaluator_->snr_receiver_db(conditioned);
+  ++result.cost.snr_trials;
+  ++result.trials;
+  return result;
+}
+
+}  // namespace analock::attack

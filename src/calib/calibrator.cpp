@@ -1,0 +1,171 @@
+#include "calib/calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lock/evaluator.h"
+#include "lock/key_layout.h"
+
+namespace analock::calib {
+
+Calibrator::Calibrator(const rf::Standard& standard,
+                       const sim::ProcessVariation& process,
+                       const sim::Rng& chip_rng, Options options)
+    : standard_(&standard),
+      process_(process),
+      chip_rng_(chip_rng),
+      options_(options) {}
+
+std::uint32_t Calibrator::tune_vglna_segment(rf::ReceiverConfig config,
+                                             const InputSegment& segment,
+                                             BiasOptimizer& optimizer) {
+  // Step 12: pick the gain level that serves the whole segment. The
+  // calibration plan targets headroom: the segment's top power should land
+  // near (but under) the modulator full scale, which the design team knows
+  // maps to ~0.45 V at the VGLNA output. The design gain table gives the
+  // starting code; a +/-1 sweep by measured SNR at the segment midpoint
+  // absorbs the chip's gain error.
+  constexpr double kTargetTopVolts = 0.32;
+  const double top_volts = sim::dbm_to_peak_volts(segment.hi_dbm);
+  const double gain_needed_db = sim::to_db20(kTargetTopVolts / top_volts);
+  // Design table: gain_db(code) = -9 + 3*code.
+  const double code_real = (gain_needed_db + 9.0) / 3.0;
+  const auto code0 = static_cast<std::uint32_t>(std::clamp(
+      std::round(code_real), 0.0,
+      static_cast<double>(rf::Vglna::kNumGainLevels - 1)));
+  std::uint32_t best_code = code0;
+  double best_score = -1e9;
+  for (std::uint32_t code = code0 > 0 ? code0 - 1 : 0;
+       code <= std::min(rf::Vglna::kNumGainLevels - 1, code0 + 1); ++code) {
+    config.vglna_gain = code;
+    // Serve the whole segment: sensitivity at the midpoint, headroom at
+    // the top, scored by the worse of the two.
+    const double snr_mid = optimizer.measure_snr_at(config, segment.mid_dbm());
+    const double snr_top = optimizer.measure_snr_at(config, segment.hi_dbm);
+    const double score = std::min(snr_mid, snr_top);
+    if (score > best_score) {
+      best_score = score;
+      best_code = code;
+    }
+  }
+  return best_code;
+}
+
+CalibrationResult Calibrator::run() {
+  CalibrationResult result;
+  const double f0 = standard_->f0_hz;
+
+  // The device under test, owned by the ATE for the whole session.
+  rf::Receiver chip(*standard_, process_, chip_rng_.fork("calibration-dut"));
+
+  // Steps 1-5 are the oscillation-mode setup; they are folded into
+  // oscillation_mode_config() which the tuners program into the chip.
+  result.log.push_back({1, "comparator configured as buffer (clock off)", 0});
+  result.log.push_back({2, "output buffer adapted to off-chip load", 15});
+  result.log.push_back({3, "RF input disabled (Gmin off)", 0});
+  result.log.push_back({4, "feedback loop with DAC and loop delay off", 0});
+  result.log.push_back({5, "-Gm set to maximum (oscillation mode)", 63});
+
+  // Step 6: tune Cc / Cf until the oscillation hits the center frequency.
+  OscillationTuner osc_tuner(chip, options_.oscillation);
+  const auto osc = osc_tuner.tune(f0);
+  result.tank_freq_err_hz = osc.achieved_hz - f0;
+  result.log.push_back({6, "capacitor arrays tuned to center frequency",
+                        osc.achieved_hz});
+  if (!osc.converged) {
+    result.total_measurements = osc.measurements;
+    return result;  // untunable tank: the chip fails calibration
+  }
+
+  // Step 7: back -Gm off until the oscillation vanishes.
+  QTuner q_tuner(chip, options_.q);
+  const auto q = q_tuner.tune(osc.cap_coarse, osc.cap_fine);
+  result.log.push_back({7, "-Gm reduced until oscillation vanished",
+                        static_cast<double>(q.q_enh)});
+
+  // Step 6 refinement: re-run the fine-array search at a gentle overdrive
+  // (just above the threshold found in step 7) where the oscillation pull
+  // toward fs/4 is weak and the counter discriminates single fine codes.
+  std::uint32_t cap_fine = osc.cap_fine;
+  if (q.converged && q.q_threshold + 3 <= rf::LcTank::kQEnhMax) {
+    const std::uint32_t q_gentle = q.q_threshold + 3;
+    cap_fine = osc_tuner.fine_tune(osc.cap_coarse, f0, q_gentle);
+    const auto refined = osc_tuner.measure_at_q(
+        osc.cap_coarse, cap_fine, q_gentle,
+        4 * options_.oscillation.settle + 16384);
+    if (refined.freq_hz > 0.0) result.tank_freq_err_hz = refined.freq_hz - f0;
+    result.log.push_back(
+        {6, "fine array re-tuned at gentle -Gm overdrive",
+         static_cast<double>(cap_fine)});
+  }
+
+  // Steps 8-10: restore the loop, apply the RF input, fs = 4 F0 (fixed by
+  // the standard's clock plan). Step 13: nominal bias initialization.
+  rf::ReceiverConfig config;
+  config.digital_mode = standard_->digital_mode;
+  config.vglna_gain = 10;  // initial guess near the reference-segment gain
+  config.modulator.cap_coarse = osc.cap_coarse;
+  config.modulator.cap_fine = cap_fine;
+  config.modulator.q_enh = q.q_enh;
+  config.modulator.gmin_bias = 32;
+  config.modulator.dac_bias = 32;
+  config.modulator.preamp_bias = 32;
+  config.modulator.comp_bias = 32;
+  config.modulator.loop_delay = 8;
+  config.modulator.feedback_enable = true;
+  config.modulator.comp_clock_enable = true;
+  config.modulator.gmin_enable = true;
+  config.modulator.buffer_in_path = false;
+  config.modulator.test_mux = 0;
+  result.log.push_back({8, "feedback loop restored", 0});
+  result.log.push_back({9, "operating mode: RF input applied at F0", f0});
+  result.log.push_back({10, "sampling frequency Fs = 4 F0",
+                        standard_->fs_hz()});
+  result.log.push_back({13, "block biases initialized to nominal", 32});
+
+  // Steps 11 + 14: loop delay and iterative bias improvement by measured
+  // SNR of the modulator.
+  BiasOptimizer optimizer(*standard_, process_, chip_rng_, options_.bias);
+  config = optimizer.optimize(config);
+  result.log.push_back({11, "loop delay trimmed",
+                        static_cast<double>(config.modulator.loop_delay)});
+  result.log.push_back({14, "iterative bias optimization",
+                        optimizer.measure_snr(config)});
+
+  // Step 12: VGLNA gain per input segment.
+  if (options_.tune_vglna_segments) {
+    for (std::size_t s = 0; s < kInputSegments.size(); ++s) {
+      result.vglna_per_segment[s] =
+          tune_vglna_segment(config, kInputSegments[s], optimizer);
+    }
+    config.vglna_gain = result.vglna_per_segment[kReferenceSegment];
+    result.log.push_back({12, "VGLNA tuned per input segment",
+                          static_cast<double>(config.vglna_gain)});
+    if (options_.refine_after_vglna) {
+      BiasOptimizer::Options one_pass = options_.bias;
+      one_pass.passes = 1;
+      BiasOptimizer refiner(*standard_, process_, chip_rng_, one_pass);
+      config = refiner.optimize(config);
+      result.total_measurements += refiner.measurements();
+    }
+  } else {
+    result.vglna_per_segment = {15, config.vglna_gain, 2};
+  }
+
+  // Final characterization with the full-length paper metrology.
+  lock::LockEvaluator evaluator(*standard_, process_, chip_rng_);
+  result.config = config;
+  result.key = lock::encode_key(config);
+  result.snr_modulator_db = evaluator.snr_modulator_db(result.key);
+  result.snr_receiver_db = evaluator.snr_receiver_db(result.key);
+  result.sfdr_db = evaluator.sfdr_db(result.key);
+  result.total_measurements +=
+      osc.measurements + q.measurements + optimizer.measurements() +
+      evaluator.trials();
+  const rf::PerformanceSpec& spec = standard_->spec;
+  result.success = result.snr_receiver_db >= spec.min_snr_db &&
+                   result.sfdr_db >= spec.min_sfdr_db;
+  return result;
+}
+
+}  // namespace analock::calib

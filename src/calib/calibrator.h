@@ -1,0 +1,96 @@
+// The full 14-step off-chip calibration procedure of paper Section V.B.
+//
+// This algorithm is part of the secret: together with the per-chip
+// configuration settings it produces, it is what an attacker would have to
+// reconstruct (paper Section IV.B.4 / VI.B.2). Running it against a chip
+// instance yields the chip's unique unlocking key per standard.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "calib/bias_optimizer.h"
+#include "calib/oscillation_tuner.h"
+#include "calib/q_tuner.h"
+#include "lock/key64.h"
+#include "rf/receiver.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace analock::calib {
+
+/// Input-power segment of the dynamic-range characterization (Fig. 11).
+struct InputSegment {
+  double lo_dbm;
+  double hi_dbm;
+  [[nodiscard]] double mid_dbm() const { return 0.5 * (lo_dbm + hi_dbm); }
+};
+
+/// The paper's three segments: [-85:-45], [-60:-20], [-40:0] dBm.
+inline constexpr std::array<InputSegment, 3> kInputSegments{{
+    {-85.0, -45.0},
+    {-60.0, -20.0},
+    {-40.0, 0.0},
+}};
+/// Segment whose VGLNA code enters the canonical key (-25 dBm reference).
+inline constexpr std::size_t kReferenceSegment = 1;
+
+struct StepLog {
+  int step;                 ///< paper step number (1..14)
+  std::string description;
+  double metric;            ///< step-specific figure (Hz, code, dB, ...)
+};
+
+struct CalibrationResult {
+  bool success = false;
+  rf::ReceiverConfig config;  ///< mission configuration (reference segment)
+  lock::Key64 key;            ///< the chip's secret key for this standard
+  std::array<std::uint32_t, 3> vglna_per_segment{};
+  double tank_freq_err_hz = 0.0;
+  double snr_modulator_db = -200.0;
+  double snr_receiver_db = -200.0;
+  double sfdr_db = -200.0;
+  std::size_t total_measurements = 0;
+  std::vector<StepLog> log;
+};
+
+class Calibrator {
+ public:
+  struct Options {
+    OscillationTuner::Options oscillation{};
+    QTuner::Options q{};
+    BiasOptimizer::Options bias{};
+    bool tune_vglna_segments = true;
+    /// Re-run one extra bias pass after the VGLNA selection.
+    bool refine_after_vglna = true;
+  };
+
+  /// A chip is identified by (standard, process corner, noise seed): the
+  /// calibrator builds its own receiver/evaluator instances for it, the
+  /// way ATE owns the device during test.
+  Calibrator(const rf::Standard& standard,
+             const sim::ProcessVariation& process, const sim::Rng& chip_rng)
+      : Calibrator(standard, process, chip_rng, Options{}) {}
+  Calibrator(const rf::Standard& standard,
+             const sim::ProcessVariation& process, const sim::Rng& chip_rng,
+             Options options);
+
+  /// Executes steps 1-14 and characterizes the result.
+  CalibrationResult run();
+
+ private:
+  /// Chooses the VGLNA code for one input segment by measured SNR.
+  std::uint32_t tune_vglna_segment(rf::ReceiverConfig config,
+                                   const InputSegment& segment,
+                                   BiasOptimizer& optimizer);
+
+  const rf::Standard* standard_;
+  sim::ProcessVariation process_;
+  sim::Rng chip_rng_;
+  Options options_;
+};
+
+}  // namespace analock::calib

@@ -1,0 +1,46 @@
+// Calibration step 7: with the tank tuned, reduce the Q-enhancement
+// transconductor -Gm gradually from its maximum until the oscillation
+// vanishes — leaving the highest non-oscillating Q the chip supports.
+#pragma once
+
+#include <cstdint>
+
+#include "rf/receiver.h"
+
+namespace analock::calib {
+
+class QTuner {
+ public:
+  struct Options {
+    std::size_t settle = 4096;
+    std::size_t measure = 2048;
+    /// RMS at the observation tap above which the tank counts as
+    /// oscillating (a railed limit cycle sits near the buffer swing).
+    double oscillation_rms = 0.10;
+  };
+
+  struct Result {
+    std::uint32_t q_enh = 0;       ///< chosen code (highest non-oscillating)
+    std::uint32_t q_threshold = 0; ///< first oscillating code above it
+    std::size_t measurements = 0;
+    bool converged = false;
+  };
+
+  explicit QTuner(rf::Receiver& chip) : QTuner(chip, Options{}) {}
+  QTuner(rf::Receiver& chip, Options options);
+
+  /// True when the tank oscillates at this -Gm code (capacitors fixed at
+  /// the codes found by the OscillationTuner).
+  bool oscillates(std::uint32_t cap_coarse, std::uint32_t cap_fine,
+                  std::uint32_t q_code);
+
+  /// Walks q down from the maximum until oscillation stops.
+  Result tune(std::uint32_t cap_coarse, std::uint32_t cap_fine);
+
+ private:
+  rf::Receiver* chip_;
+  Options options_;
+  std::size_t measurements_ = 0;
+};
+
+}  // namespace analock::calib

@@ -1,0 +1,83 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numbers>
+
+namespace analock::dsp {
+
+namespace {
+
+/// Twiddle factors e^{-j pi k / half} for k in [0, half), cached per size.
+const std::vector<cplx>& twiddles_for(std::size_t half) {
+  static std::map<std::size_t, std::vector<cplx>> cache;
+  auto it = cache.find(half);
+  if (it != cache.end()) return it->second;
+  std::vector<cplx> tw(half);
+  for (std::size_t k = 0; k < half; ++k) {
+    const double angle =
+        -std::numbers::pi * static_cast<double>(k) / static_cast<double>(half);
+    tw[k] = {std::cos(angle), std::sin(angle)};
+  }
+  return cache.emplace(half, std::move(tw)).first->second;
+}
+
+void bit_reverse_permute(std::span<cplx> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<cplx> data) {
+  const std::size_t n = data.size();
+  assert(is_power_of_two(n) && "FFT size must be a power of two");
+  if (n <= 1) return;
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const auto& tw = twiddles_for(half);
+    for (std::size_t block = 0; block < n; block += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx odd = data[block + k + half] * tw[k];
+        const cplx even = data[block + k];
+        data[block + k] = even + odd;
+        data[block + k + half] = even - odd;
+      }
+    }
+  }
+}
+
+void ifft_inplace(std::span<cplx> data) {
+  for (auto& x : data) x = std::conj(x);
+  fft_inplace(data);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x = std::conj(x) * scale;
+}
+
+std::vector<cplx> fft_real(std::span<const double> data) {
+  std::vector<cplx> buf(data.begin(), data.end());
+  fft_inplace(buf);
+  return buf;
+}
+
+std::vector<cplx> fft(std::span<const cplx> data) {
+  std::vector<cplx> buf(data.begin(), data.end());
+  fft_inplace(buf);
+  return buf;
+}
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace analock::dsp

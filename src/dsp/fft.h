@@ -1,0 +1,37 @@
+// Radix-2 iterative FFT.
+//
+// Sized for the paper's metrology: 8192-point transforms of the modulator
+// bitstream. Power-of-two sizes only; twiddle tables are cached per size.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace analock::dsp {
+
+using cplx = std::complex<double>;
+
+/// Returns true if n is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place decimation-in-time radix-2 FFT. `data.size()` must be a power
+/// of two. Forward transform uses the e^{-j2pi/N} kernel.
+void fft_inplace(std::span<cplx> data);
+
+/// In-place inverse FFT including the 1/N normalization.
+void ifft_inplace(std::span<cplx> data);
+
+/// Out-of-place forward FFT of a real sequence; returns N complex bins.
+[[nodiscard]] std::vector<cplx> fft_real(std::span<const double> data);
+
+/// Out-of-place forward FFT of a complex sequence.
+[[nodiscard]] std::vector<cplx> fft(std::span<const cplx> data);
+
+/// Next power of two >= n.
+[[nodiscard]] std::size_t next_power_of_two(std::size_t n);
+
+}  // namespace analock::dsp

@@ -1,0 +1,60 @@
+#include "dsp/fir.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace analock::dsp {
+
+std::vector<double> design_lowpass(double cutoff_norm, std::size_t taps,
+                                   WindowKind window) {
+  assert(cutoff_norm > 0.0 && cutoff_norm < 0.5);
+  assert(taps % 2 == 1 && "use an odd tap count for a type-I FIR");
+  const auto w = make_window_symmetric(window, taps);
+  std::vector<double> h(taps);
+  const double center = static_cast<double>(taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - center;
+    const double x = 2.0 * std::numbers::pi * cutoff_norm * t;
+    const double sinc = (std::abs(t) < 1e-12)
+                            ? 2.0 * cutoff_norm
+                            : std::sin(x) / (std::numbers::pi * t);
+    h[i] = sinc * w[i];
+    sum += h[i];
+  }
+  // Normalize to unity DC gain.
+  for (auto& tap : h) tap /= sum;
+  return h;
+}
+
+std::vector<double> design_halfband(std::size_t taps, WindowKind window) {
+  assert(taps % 4 == 3 && "half-band tap count must be 4k+3");
+  auto h = design_lowpass(0.25, taps, window);
+  // Force the exact half-band structure: taps at even nonzero offsets from
+  // the center are zeros of sinc(0.25); clean up windowing residue.
+  const std::size_t center = (taps - 1) / 2;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const std::size_t offset = i > center ? i - center : center - i;
+    if (offset != 0 && offset % 2 == 0) h[i] = 0.0;
+  }
+  // Re-normalize DC gain after zero forcing.
+  double sum = 0.0;
+  for (const double tap : h) sum += tap;
+  for (auto& tap : h) tap /= sum;
+  return h;
+}
+
+double fir_magnitude(std::span<const double> taps, double f_norm) {
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    const double phase =
+        -2.0 * std::numbers::pi * f_norm * static_cast<double>(i);
+    re += taps[i] * std::cos(phase);
+    im += taps[i] * std::sin(phase);
+  }
+  return std::hypot(re, im);
+}
+
+}  // namespace analock::dsp

@@ -1,0 +1,108 @@
+#include "dsp/iir.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace analock::dsp {
+
+double Biquad::process(double x) {
+  const double y = c_.b0 * x + c_.b1 * x1_ + c_.b2 * x2_ - c_.a1 * y1_ -
+                   c_.a2 * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void Biquad::process(std::span<double> data) {
+  for (double& x : data) x = process(x);
+}
+
+void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+double Biquad::magnitude(double f_norm) const {
+  const std::complex<double> z =
+      std::polar(1.0, -2.0 * std::numbers::pi * f_norm);
+  const std::complex<double> num = c_.b0 + (c_.b1 + c_.b2 * z) * z;
+  const std::complex<double> den = 1.0 + (c_.a1 + c_.a2 * z) * z;
+  return std::abs(num / den);
+}
+
+namespace {
+
+Biquad::Coefficients normalized(double b0, double b1, double b2, double a0,
+                                double a1, double a2) {
+  return {b0 / a0, b1 / a0, b2 / a0, a1 / a0, a2 / a0};
+}
+
+}  // namespace
+
+Biquad Biquad::lowpass(double f_norm, double q) {
+  const double w = 2.0 * std::numbers::pi * f_norm;
+  const double alpha = std::sin(w) / (2.0 * q);
+  const double cw = std::cos(w);
+  return Biquad(normalized((1 - cw) / 2, 1 - cw, (1 - cw) / 2, 1 + alpha,
+                           -2 * cw, 1 - alpha));
+}
+
+Biquad Biquad::highpass(double f_norm, double q) {
+  const double w = 2.0 * std::numbers::pi * f_norm;
+  const double alpha = std::sin(w) / (2.0 * q);
+  const double cw = std::cos(w);
+  return Biquad(normalized((1 + cw) / 2, -(1 + cw), (1 + cw) / 2, 1 + alpha,
+                           -2 * cw, 1 - alpha));
+}
+
+Biquad Biquad::bandpass(double f_norm, double q) {
+  const double w = 2.0 * std::numbers::pi * f_norm;
+  const double alpha = std::sin(w) / (2.0 * q);
+  const double cw = std::cos(w);
+  return Biquad(normalized(alpha, 0.0, -alpha, 1 + alpha, -2 * cw,
+                           1 - alpha));
+}
+
+Biquad Biquad::notch(double f_norm, double q) {
+  const double w = 2.0 * std::numbers::pi * f_norm;
+  const double alpha = std::sin(w) / (2.0 * q);
+  const double cw = std::cos(w);
+  return Biquad(normalized(1.0, -2 * cw, 1.0, 1 + alpha, -2 * cw,
+                           1 - alpha));
+}
+
+Biquad Biquad::dc_blocker(double r) {
+  return Biquad(Biquad::Coefficients{1.0, -1.0, 0.0, -r, 0.0});
+}
+
+double BiquadCascade::process(double x) {
+  for (Biquad& section : sections_) x = section.process(x);
+  return x;
+}
+
+void BiquadCascade::reset() {
+  for (Biquad& section : sections_) section.reset();
+}
+
+double BiquadCascade::magnitude(double f_norm) const {
+  double m = 1.0;
+  for (const Biquad& section : sections_) m *= section.magnitude(f_norm);
+  return m;
+}
+
+BiquadCascade BiquadCascade::butterworth_lowpass(double f_norm,
+                                                 std::size_t n_sections) {
+  // Butterworth pole pairs: Q_k = 1 / (2 sin((2k+1) pi / (4 n))).
+  std::vector<Biquad> sections;
+  sections.reserve(n_sections);
+  const double n = static_cast<double>(2 * n_sections);
+  for (std::size_t k = 0; k < n_sections; ++k) {
+    const double angle =
+        (2.0 * static_cast<double>(k) + 1.0) * std::numbers::pi / (2.0 * n);
+    const double q = 1.0 / (2.0 * std::sin(angle));
+    sections.push_back(Biquad::lowpass(f_norm, q));
+  }
+  return BiquadCascade(std::move(sections));
+}
+
+}  // namespace analock::dsp

@@ -1,0 +1,68 @@
+// IIR biquad filters (RBJ audio-EQ-cookbook designs).
+//
+// Used for auxiliary signal conditioning (DC blocking of analog taps,
+// band-limiting of observation paths) and as an independent reference
+// implementation the resonator tests cross-check against.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace analock::dsp {
+
+/// Direct-form-I biquad: y = (b0 x + b1 x1 + b2 x2 - a1 y1 - a2 y2).
+class Biquad {
+ public:
+  struct Coefficients {
+    double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+    double a1 = 0.0, a2 = 0.0;  ///< normalized (a0 = 1)
+  };
+
+  Biquad() = default;
+  explicit Biquad(const Coefficients& c) : c_(c) {}
+
+  [[nodiscard]] const Coefficients& coefficients() const { return c_; }
+
+  double process(double x);
+  void process(std::span<double> data);
+  void reset();
+
+  /// Magnitude response at normalized frequency f (cycles/sample).
+  [[nodiscard]] double magnitude(double f_norm) const;
+
+  // RBJ cookbook designs; f_norm = fc / fs, q = quality factor.
+  [[nodiscard]] static Biquad lowpass(double f_norm, double q = 0.7071);
+  [[nodiscard]] static Biquad highpass(double f_norm, double q = 0.7071);
+  [[nodiscard]] static Biquad bandpass(double f_norm, double q);
+  [[nodiscard]] static Biquad notch(double f_norm, double q);
+
+  /// One-pole-one-zero DC blocker with pole at `r` (close to 1).
+  [[nodiscard]] static Biquad dc_blocker(double r = 0.995);
+
+ private:
+  Coefficients c_{};
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// Cascade of biquads (higher-order filters).
+class BiquadCascade {
+ public:
+  explicit BiquadCascade(std::vector<Biquad> sections)
+      : sections_(std::move(sections)) {}
+
+  double process(double x);
+  void reset();
+  [[nodiscard]] double magnitude(double f_norm) const;
+  [[nodiscard]] std::size_t order() const { return 2 * sections_.size(); }
+
+  /// Butterworth lowpass of order 2*n_sections via cascaded RBJ sections
+  /// with the standard Butterworth Q values.
+  [[nodiscard]] static BiquadCascade butterworth_lowpass(
+      double f_norm, std::size_t n_sections);
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+}  // namespace analock::dsp

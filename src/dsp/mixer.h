@@ -1,0 +1,78 @@
+// Digital down-conversion mixers.
+//
+// The receiver samples at fs = 4*F0, so the wanted carrier sits exactly at
+// fs/4 and down-conversion reduces to multiplying by the trivial
+// {1, 0, -1, 0} / {0, -1, 0, 1} quadrature sequences — the paper's "digital
+// down-conversion mixer" block. A general NCO mixer is provided for test
+// signals at arbitrary frequencies.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace analock::dsp {
+
+/// fs/4 down-converter: y[n] = x[n] * e^{-j pi n / 2}.
+/// The LO samples are exactly representable, so the mixer is lossless.
+class QuarterRateMixer {
+ public:
+  /// Mixes one real sample to complex baseband.
+  std::complex<double> mix(double x) {
+    std::complex<double> y;
+    switch (phase_) {
+      case 0: y = {x, 0.0}; break;
+      case 1: y = {0.0, -x}; break;
+      case 2: y = {-x, 0.0}; break;
+      default: y = {0.0, x}; break;
+    }
+    phase_ = (phase_ + 1) & 3u;
+    return y;
+  }
+
+  /// Mixes a block.
+  [[nodiscard]] std::vector<std::complex<double>> process(
+      std::span<const double> in) {
+    std::vector<std::complex<double>> out;
+    out.reserve(in.size());
+    for (const double x : in) out.push_back(mix(x));
+    return out;
+  }
+
+  void reset() { phase_ = 0; }
+
+ private:
+  unsigned phase_ = 0;
+};
+
+/// Numerically controlled oscillator mixer for arbitrary LO frequencies.
+class NcoMixer {
+ public:
+  NcoMixer(double lo_freq_hz, double fs_hz)
+      : phase_step_(2.0 * std::numbers::pi * lo_freq_hz / fs_hz) {}
+
+  std::complex<double> mix(double x) {
+    const std::complex<double> lo{std::cos(phase_), -std::sin(phase_)};
+    phase_ += phase_step_;
+    if (phase_ > 2.0 * std::numbers::pi) phase_ -= 2.0 * std::numbers::pi;
+    return x * lo;
+  }
+
+  [[nodiscard]] std::vector<std::complex<double>> process(
+      std::span<const double> in) {
+    std::vector<std::complex<double>> out;
+    out.reserve(in.size());
+    for (const double x : in) out.push_back(mix(x));
+    return out;
+  }
+
+  void reset() { phase_ = 0.0; }
+
+ private:
+  double phase_step_;
+  double phase_ = 0.0;
+};
+
+}  // namespace analock::dsp

@@ -1,0 +1,57 @@
+#include "dsp/tonegen.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/units.h"
+
+namespace analock::dsp {
+
+ToneGenerator::ToneGenerator(std::vector<Tone> tones, double fs_hz)
+    : tones_(std::move(tones)) {
+  phase_.reserve(tones_.size());
+  step_.reserve(tones_.size());
+  for (const Tone& t : tones_) {
+    phase_.push_back(t.phase_rad);
+    step_.push_back(2.0 * std::numbers::pi * t.freq_hz / fs_hz);
+  }
+}
+
+double ToneGenerator::next() {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < tones_.size(); ++i) {
+    acc += tones_[i].peak_volts * std::sin(phase_[i]);
+    phase_[i] += step_[i];
+    if (phase_[i] > 2.0 * std::numbers::pi) {
+      phase_[i] -= 2.0 * std::numbers::pi;
+    }
+  }
+  return acc;
+}
+
+std::vector<double> ToneGenerator::generate(std::size_t n) {
+  std::vector<double> out(n);
+  for (auto& x : out) x = next();
+  return out;
+}
+
+void ToneGenerator::reset() {
+  for (std::size_t i = 0; i < tones_.size(); ++i) {
+    phase_[i] = tones_[i].phase_rad;
+  }
+}
+
+ToneGenerator single_tone_dbm(double freq_hz, double dbm, double fs_hz) {
+  return ToneGenerator{{Tone{freq_hz, sim::dbm_to_peak_volts(dbm), 0.0}},
+                       fs_hz};
+}
+
+ToneGenerator two_tone_dbm(double center_hz, double spacing_hz,
+                           double dbm_per_tone, double fs_hz) {
+  const double amp = sim::dbm_to_peak_volts(dbm_per_tone);
+  return ToneGenerator{{Tone{center_hz - spacing_hz / 2.0, amp, 0.0},
+                        Tone{center_hz + spacing_hz / 2.0, amp, 1.0}},
+                       fs_hz};
+}
+
+}  // namespace analock::dsp

@@ -1,0 +1,48 @@
+// Test-signal generation: single tones and the paper's two-tone SFDR
+// stimulus (equal-power tones 10 MHz apart).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace analock::dsp {
+
+/// A sinusoidal stimulus component.
+struct Tone {
+  double freq_hz = 0.0;
+  double peak_volts = 0.0;
+  double phase_rad = 0.0;
+};
+
+/// Streaming multi-tone generator.
+class ToneGenerator {
+ public:
+  ToneGenerator(std::vector<Tone> tones, double fs_hz);
+
+  /// Next sample of the sum of tones.
+  double next();
+
+  /// Generates a block of n samples.
+  [[nodiscard]] std::vector<double> generate(std::size_t n);
+
+  void reset();
+
+  [[nodiscard]] const std::vector<Tone>& tones() const { return tones_; }
+
+ private:
+  std::vector<Tone> tones_;
+  std::vector<double> phase_;
+  std::vector<double> step_;
+};
+
+/// Single tone at `freq_hz` with power `dbm` into 50 ohms.
+[[nodiscard]] ToneGenerator single_tone_dbm(double freq_hz, double dbm,
+                                            double fs_hz);
+
+/// Two equal-power tones centered on `center_hz`, separated by `spacing_hz`
+/// (each at `dbm_per_tone`). This is the paper's SFDR stimulus with
+/// spacing 10 MHz.
+[[nodiscard]] ToneGenerator two_tone_dbm(double center_hz, double spacing_hz,
+                                         double dbm_per_tone, double fs_hz);
+
+}  // namespace analock::dsp

@@ -1,0 +1,117 @@
+#include "dsp/window.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace analock::dsp {
+
+namespace {
+
+/// Generalized cosine window: w[i] = sum_k a[k] cos(2 pi k i / D) with
+/// D = n for the periodic form and D = n-1 for the symmetric form.
+std::vector<double> cosine_window(std::span<const double> coeffs,
+                                  std::size_t n, bool symmetric) {
+  std::vector<double> w(n, 0.0);
+  const double denom =
+      symmetric ? static_cast<double>(n - 1) : static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(i) / denom;
+    double acc = 0.0;
+    double sign = 1.0;
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+      acc += sign * coeffs[k] * std::cos(phase * static_cast<double>(k));
+      sign = -sign;
+    }
+    w[i] = acc;
+  }
+  return w;
+}
+
+std::vector<double> make_window_impl(WindowKind kind, std::size_t n,
+                                     bool symmetric) {
+  assert(n > 0);
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return std::vector<double>(n, 1.0);
+    case WindowKind::kHann: {
+      const double coeffs[] = {0.5, 0.5};
+      return cosine_window(coeffs, n, symmetric);
+    }
+    case WindowKind::kHamming: {
+      const double coeffs[] = {0.54, 0.46};
+      return cosine_window(coeffs, n, symmetric);
+    }
+    case WindowKind::kBlackman: {
+      const double coeffs[] = {0.42, 0.5, 0.08};
+      return cosine_window(coeffs, n, symmetric);
+    }
+    case WindowKind::kBlackmanHarris: {
+      const double coeffs[] = {0.35875, 0.48829, 0.14128, 0.01168};
+      return cosine_window(coeffs, n, symmetric);
+    }
+    case WindowKind::kFlatTop: {
+      const double coeffs[] = {0.21557895, 0.41663158, 0.277263158,
+                               0.083578947, 0.006947368};
+      return cosine_window(coeffs, n, symmetric);
+    }
+  }
+  return std::vector<double>(n, 1.0);
+}
+
+}  // namespace
+
+std::string_view window_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular: return "rectangular";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackman: return "blackman";
+    case WindowKind::kBlackmanHarris: return "blackman-harris";
+    case WindowKind::kFlatTop: return "flat-top";
+  }
+  return "unknown";
+}
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  return make_window_impl(kind, n, /*symmetric=*/false);
+}
+
+std::vector<double> make_window_symmetric(WindowKind kind, std::size_t n) {
+  return make_window_impl(kind, n, /*symmetric=*/true);
+}
+
+double coherent_gain(std::span<const double> window) {
+  double sum = 0.0;
+  for (const double w : window) sum += w;
+  return sum / static_cast<double>(window.size());
+}
+
+double enbw_bins(std::span<const double> window) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double w : window) {
+    sum += w;
+    sum_sq += w * w;
+  }
+  return static_cast<double>(window.size()) * sum_sq / (sum * sum);
+}
+
+std::size_t main_lobe_half_width(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular: return 1;
+    case WindowKind::kHann: return 3;
+    case WindowKind::kHamming: return 3;
+    case WindowKind::kBlackman: return 4;
+    case WindowKind::kBlackmanHarris: return 5;
+    case WindowKind::kFlatTop: return 6;
+  }
+  return 3;
+}
+
+void apply_window(std::span<double> data, std::span<const double> window) {
+  assert(data.size() == window.size());
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] *= window[i];
+}
+
+}  // namespace analock::dsp

@@ -1,0 +1,50 @@
+// Window functions for spectral analysis.
+//
+// SNR/SFDR metrology windows the capture before the FFT; the analysis in
+// dsp/spectrum.h needs each window's coherent gain (for amplitude
+// correction) and equivalent noise bandwidth (for noise-power bookkeeping).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace analock::dsp {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kBlackmanHarris,
+  kFlatTop,
+};
+
+/// Human-readable window name (for report rows).
+[[nodiscard]] std::string_view window_name(WindowKind kind);
+
+/// Samples of the window, length n (periodic form, suited to FFT analysis).
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Symmetric form (denominator n-1), suited to FIR design where the taps
+/// must be exactly symmetric about the center.
+[[nodiscard]] std::vector<double> make_window_symmetric(WindowKind kind,
+                                                        std::size_t n);
+
+/// Coherent gain: mean of the window samples. A sinusoid's spectral peak is
+/// scaled by this factor.
+[[nodiscard]] double coherent_gain(std::span<const double> window);
+
+/// Equivalent noise bandwidth in bins: N * sum(w^2) / (sum w)^2.
+[[nodiscard]] double enbw_bins(std::span<const double> window);
+
+/// Half-width, in bins, of the window main lobe (bins on each side of the
+/// peak that carry signal energy and must be attributed to the signal, not
+/// the noise, when integrating a spectrum).
+[[nodiscard]] std::size_t main_lobe_half_width(WindowKind kind);
+
+/// Multiplies `data` by the window in place. Sizes must match.
+void apply_window(std::span<double> data, std::span<const double> window);
+
+}  // namespace analock::dsp

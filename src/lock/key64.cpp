@@ -1,0 +1,36 @@
+#include "lock/key64.h"
+
+#include <cctype>
+
+namespace analock::lock {
+
+std::string Key64::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(bits_ >> shift) & 0xFu]);
+  }
+  return out;
+}
+
+bool Key64::from_hex(std::string_view text, Key64& out) {
+  if (text.starts_with("0x") || text.starts_with("0X")) text.remove_prefix(2);
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = Key64{value};
+  return true;
+}
+
+}  // namespace analock::lock

@@ -1,0 +1,66 @@
+#include "lock/key_layout.h"
+
+namespace analock::lock {
+
+Key64 encode_key(const rf::ReceiverConfig& config) {
+  using L = KeyLayout;
+  const rf::ModulatorConfig& m = config.modulator;
+  Key64 key;
+  key = key.with_field(L::kVglnaGain, config.vglna_gain & 0xFu);
+  key = key.with_field(L::kCapCoarse, m.cap_coarse & 0xFFu);
+  key = key.with_field(L::kCapFine, m.cap_fine & 0xFFu);
+  key = key.with_field(L::kQEnh, m.q_enh & 0x3Fu);
+  key = key.with_field(L::kGminBias, m.gmin_bias & 0x3Fu);
+  key = key.with_field(L::kDacBias, m.dac_bias & 0x3Fu);
+  key = key.with_field(L::kPreampBias, m.preamp_bias & 0x3Fu);
+  key = key.with_field(L::kCompBias, m.comp_bias & 0x3Fu);
+  key = key.with_field(L::kLoopDelay, m.loop_delay & 0xFu);
+  key = key.with_field(L::kOutBuffer, m.out_buffer & 0xFu);
+  key = key.with_bit(L::kFeedbackEnable, m.feedback_enable);
+  key = key.with_bit(L::kCompClockEnable, m.comp_clock_enable);
+  key = key.with_bit(L::kGminEnable, m.gmin_enable);
+  key = key.with_bit(L::kBufferInPath, m.buffer_in_path);
+  key = key.with_field(L::kTestMux, m.test_mux & 0x3u);
+  return key;
+}
+
+rf::ReceiverConfig decode_key(const Key64& key, std::uint32_t digital_mode) {
+  using L = KeyLayout;
+  rf::ReceiverConfig config;
+  config.vglna_gain = static_cast<std::uint32_t>(key.field(L::kVglnaGain));
+  config.digital_mode = digital_mode;
+  rf::ModulatorConfig& m = config.modulator;
+  m.cap_coarse = static_cast<std::uint32_t>(key.field(L::kCapCoarse));
+  m.cap_fine = static_cast<std::uint32_t>(key.field(L::kCapFine));
+  m.q_enh = static_cast<std::uint32_t>(key.field(L::kQEnh));
+  m.gmin_bias = static_cast<std::uint32_t>(key.field(L::kGminBias));
+  m.dac_bias = static_cast<std::uint32_t>(key.field(L::kDacBias));
+  m.preamp_bias = static_cast<std::uint32_t>(key.field(L::kPreampBias));
+  m.comp_bias = static_cast<std::uint32_t>(key.field(L::kCompBias));
+  m.loop_delay = static_cast<std::uint32_t>(key.field(L::kLoopDelay));
+  m.out_buffer = static_cast<std::uint32_t>(key.field(L::kOutBuffer));
+  m.feedback_enable = key.bit(L::kFeedbackEnable);
+  m.comp_clock_enable = key.bit(L::kCompClockEnable);
+  m.gmin_enable = key.bit(L::kGminEnable);
+  m.buffer_in_path = key.bit(L::kBufferInPath);
+  m.test_mux = static_cast<std::uint32_t>(key.field(L::kTestMux));
+  return config;
+}
+
+bool is_mission_mode(const Key64& key) {
+  using L = KeyLayout;
+  return key.bit(L::kFeedbackEnable) && key.bit(L::kCompClockEnable) &&
+         key.bit(L::kGminEnable) && !key.bit(L::kBufferInPath) &&
+         key.field(L::kTestMux) == 0;
+}
+
+Key64 force_mission_mode(const Key64& key) {
+  using L = KeyLayout;
+  return key.with_bit(L::kFeedbackEnable, true)
+      .with_bit(L::kCompClockEnable, true)
+      .with_bit(L::kGminEnable, true)
+      .with_bit(L::kBufferInPath, false)
+      .with_field(L::kTestMux, 0);
+}
+
+}  // namespace analock::lock

@@ -1,0 +1,76 @@
+#include "lock/key_manager.h"
+
+#include <cassert>
+
+#include "lock/key_layout.h"
+
+namespace analock::lock {
+
+// ---------------------------------------------------------------- LUT --
+
+TamperProofLutScheme::TamperProofLutScheme(std::size_t slots) : lut_(slots) {}
+
+void TamperProofLutScheme::provision(std::size_t slot,
+                                     const Key64& config_key) {
+  assert(slot < lut_.size());
+  if (tampered_) return;  // a zeroized part stays dead
+  lut_[slot] = config_key;
+}
+
+std::optional<Key64> TamperProofLutScheme::load(std::size_t slot) {
+  assert(slot < lut_.size());
+  if (tampered_) return std::nullopt;
+  return lut_[slot];
+}
+
+std::size_t TamperProofLutScheme::storage_bits() const {
+  return lut_.size() * KeyLayout::kKeyBits;
+}
+
+void TamperProofLutScheme::tamper() {
+  for (auto& entry : lut_) entry.reset();
+  tampered_ = true;
+}
+
+void TamperProofLutScheme::poison(std::size_t slot, sim::Rng& rng) {
+  assert(slot < lut_.size());
+  // A random word with the mode bits scrambled is non-functional with
+  // overwhelming probability; callers can re-check with a LockEvaluator.
+  lut_[slot] = Key64::random(rng);
+}
+
+// ---------------------------------------------------------------- PUF --
+
+PufXorScheme::PufXorScheme(ArbiterPuf& puf, std::size_t slots)
+    : puf_(&puf), user_keys_(slots) {}
+
+void PufXorScheme::provision(std::size_t slot, const Key64& config_key) {
+  assert(slot < user_keys_.size());
+  const Key64 id = puf_->identification_key(slot);
+  user_keys_[slot] = config_key ^ id;
+}
+
+std::optional<Key64> PufXorScheme::load(std::size_t slot) {
+  assert(slot < user_keys_.size());
+  if (!user_keys_[slot]) return std::nullopt;
+  const Key64 id = puf_->identification_key(slot);
+  return *user_keys_[slot] ^ id;
+}
+
+std::size_t PufXorScheme::storage_bits() const {
+  // User keys may live off-chip; the on-chip cost is the PUF itself, but
+  // we account the key material the user must hold.
+  return user_keys_.size() * KeyLayout::kKeyBits;
+}
+
+std::optional<Key64> PufXorScheme::user_key(std::size_t slot) const {
+  assert(slot < user_keys_.size());
+  return user_keys_[slot];
+}
+
+void PufXorScheme::install_user_key(std::size_t slot, const Key64& user_key) {
+  assert(slot < user_keys_.size());
+  user_keys_[slot] = user_key;
+}
+
+}  // namespace analock::lock

@@ -1,0 +1,103 @@
+// Secret key management schemes (paper Fig. 3).
+//
+// (a) Tamper-proof memory: the LUT of configuration settings lives in a
+//     protected on-chip memory; in normal operation the circuit commands
+//     it to load the programming bits for the selected operation mode.
+// (b) PUF + XOR: the chip derives per-slot identification keys from a
+//     PUF; the user holds wrapped keys (config XOR id), so the stored
+//     material is useless without this exact die — which also defeats
+//     recycling when user keys are re-loaded at every power-on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "lock/key64.h"
+#include "lock/puf.h"
+#include "sim/rng.h"
+
+namespace analock::lock {
+
+/// Abstract key-management scheme: one key slot per configuration setting
+/// (per standard / operation mode).
+class KeyManagementScheme {
+ public:
+  virtual ~KeyManagementScheme() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::size_t slots() const = 0;
+
+  /// Installs the configuration key for a slot (done by the design house
+  /// in the secured calibration environment).
+  virtual void provision(std::size_t slot, const Key64& config_key) = 0;
+
+  /// What the chip loads at power-on / mode switch: the programming bits
+  /// applied to the fabric, or nothing if the slot was never provisioned.
+  [[nodiscard]] virtual std::optional<Key64> load(std::size_t slot) = 0;
+
+  /// Non-volatile storage the scheme needs, in bits (overhead accounting).
+  [[nodiscard]] virtual std::size_t storage_bits() const = 0;
+};
+
+/// Fig. 3(a): configuration LUT in tamper-proof memory. A tamper event
+/// (invasive attack) zeroizes the array. Poisoning a slot supports the
+/// remarking countermeasure: after unsuccessful calibration the design
+/// house loads wrong configuration settings to render the chip
+/// malfunctional (Section IV.C).
+class TamperProofLutScheme final : public KeyManagementScheme {
+ public:
+  explicit TamperProofLutScheme(std::size_t slots);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "tamper-proof-lut";
+  }
+  [[nodiscard]] std::size_t slots() const override { return lut_.size(); }
+  void provision(std::size_t slot, const Key64& config_key) override;
+  [[nodiscard]] std::optional<Key64> load(std::size_t slot) override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+  /// Models the tamper sensor firing: all slots are erased.
+  void tamper();
+  [[nodiscard]] bool tampered() const { return tampered_; }
+
+  /// Overwrites a slot with a deliberately non-functional setting.
+  void poison(std::size_t slot, sim::Rng& rng);
+
+ private:
+  std::vector<std::optional<Key64>> lut_;
+  bool tampered_ = false;
+};
+
+/// Fig. 3(b): PUF-wrapped user keys. `provision` computes and stores the
+/// user key (config XOR id); `load` regenerates the id key from the PUF
+/// and unwraps. Moving the stored user keys to a different die yields
+/// garbage configuration bits.
+class PufXorScheme final : public KeyManagementScheme {
+ public:
+  /// The PUF instance belongs to the chip; the scheme holds a reference.
+  PufXorScheme(ArbiterPuf& puf, std::size_t slots);
+
+  [[nodiscard]] std::string_view name() const override { return "puf-xor"; }
+  [[nodiscard]] std::size_t slots() const override {
+    return user_keys_.size();
+  }
+  void provision(std::size_t slot, const Key64& config_key) override;
+  [[nodiscard]] std::optional<Key64> load(std::size_t slot) override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+  /// The wrapped (public-side) user key for a slot — what ships with the
+  /// product, safe to expose.
+  [[nodiscard]] std::optional<Key64> user_key(std::size_t slot) const;
+
+  /// Installs a user key directly (power-on key loading by the customer).
+  void install_user_key(std::size_t slot, const Key64& user_key);
+
+ private:
+  ArbiterPuf* puf_;
+  std::vector<std::optional<Key64>> user_keys_;
+};
+
+}  // namespace analock::lock

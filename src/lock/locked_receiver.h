@@ -1,0 +1,53 @@
+// Product-level facade: a fabricated chip (behavioral receiver + its
+// process corner) whose programmable fabric is the lock. In the field the
+// chip loads its configuration from a key-management scheme at power-on;
+// an attacker can instead apply arbitrary key guesses directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "lock/key64.h"
+#include "lock/key_layout.h"
+#include "lock/key_manager.h"
+#include "rf/receiver.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace analock::lock {
+
+class LockedReceiver {
+ public:
+  /// A chip instance for `standard` at process corner `process`.
+  LockedReceiver(const rf::Standard& standard,
+                 const sim::ProcessVariation& process, const sim::Rng& rng);
+
+  /// Normal power-on: loads the slot's configuration from the key
+  /// manager and applies it to the fabric. Returns false (and leaves the
+  /// fabric in the all-zero, non-functional state) if the slot is empty.
+  bool power_on(KeyManagementScheme& scheme, std::size_t slot);
+
+  /// Attacker / tester path: applies raw programming bits.
+  void apply_key(const Key64& key);
+
+  /// The key currently programmed into the fabric, if any.
+  [[nodiscard]] std::optional<Key64> active_key() const {
+    return active_key_;
+  }
+
+  [[nodiscard]] rf::Receiver& chip() { return receiver_; }
+  [[nodiscard]] const rf::Receiver& chip() const { return receiver_; }
+  [[nodiscard]] const rf::Standard& standard() const { return *standard_; }
+  [[nodiscard]] const sim::ProcessVariation& process() const {
+    return process_;
+  }
+
+ private:
+  const rf::Standard* standard_;
+  sim::ProcessVariation process_;
+  rf::Receiver receiver_;
+  std::optional<Key64> active_key_;
+};
+
+}  // namespace analock::lock

@@ -1,0 +1,61 @@
+#include "lock/puf.h"
+
+#include <cmath>
+
+namespace analock::lock {
+
+ArbiterPuf::ArbiterPuf(const sim::Rng& chip_rng, double noise_sigma)
+    : noise_sigma_(noise_sigma), noise_rng_(chip_rng.fork("puf-noise")) {
+  sim::Rng weights_rng = chip_rng.fork("puf-weights");
+  for (auto& w : weights_) w = weights_rng.gaussian();
+}
+
+double ArbiterPuf::delay_difference(std::uint64_t challenge) const {
+  // Additive delay model with parity features:
+  //   phi_i = prod_{j>=i} (1 - 2 c_j),  phi_64 = 1,  delta = w . phi.
+  // Computed back-to-front so each phi costs O(1).
+  double phi = 1.0;
+  double delta = weights_[kStages];  // phi_64 = 1
+  for (int i = kStages - 1; i >= 0; --i) {
+    const bool c = ((challenge >> i) & 1u) != 0;
+    phi *= c ? -1.0 : 1.0;
+    delta += weights_[static_cast<std::size_t>(i)] * phi;
+  }
+  return delta;
+}
+
+bool ArbiterPuf::response(std::uint64_t challenge) {
+  return delay_difference(challenge) +
+             noise_rng_.gaussian(0.0, noise_sigma_) >
+         0.0;
+}
+
+bool ArbiterPuf::response_voted(std::uint64_t challenge, unsigned votes) {
+  unsigned ones = 0;
+  for (unsigned v = 0; v < votes; ++v) {
+    if (response(challenge)) ++ones;
+  }
+  return 2 * ones > votes;
+}
+
+Key64 ArbiterPuf::identification_key(std::uint64_t domain, unsigned votes) {
+  std::uint64_t key_bits = 0;
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    // Derive candidate challenges per key bit from the slot domain and
+    // keep the first whose delay margin is decisive — the standard
+    // enrollment-time reliability screening (dark-bit masking) that keeps
+    // the regenerated key stable without a fuzzy extractor. The challenge
+    // sequence is deterministic, so every regeneration screens the same
+    // way.
+    std::uint64_t seed = domain * 0x9e3779b97f4a7c15ULL + bit;
+    std::uint64_t challenge = sim::splitmix64(seed);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (std::abs(delay_difference(challenge)) > 5.0 * noise_sigma_) break;
+      challenge = sim::splitmix64(seed);
+    }
+    if (response_voted(challenge, votes)) key_bits |= 1ULL << bit;
+  }
+  return Key64{key_bits};
+}
+
+}  // namespace analock::lock

@@ -1,0 +1,51 @@
+// Arbiter PUF model for the key-management scheme of paper Fig. 3(b).
+//
+// Standard additive-delay model: 64 switch stages with per-chip delay
+// imbalances; a challenge selects a path pair and the response is the sign
+// of the accumulated delay difference. Evaluations are noisy, so the key
+// generator majority-votes each response bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "lock/key64.h"
+#include "sim/rng.h"
+
+namespace analock::lock {
+
+class ArbiterPuf {
+ public:
+  static constexpr unsigned kStages = 64;
+  /// Evaluation-noise sigma relative to unit stage-delay sigma.
+  static constexpr double kDefaultNoiseSigma = 0.08;
+  /// Votes per bit when generating identification keys.
+  static constexpr unsigned kDefaultVotes = 11;
+
+  /// Per-chip delay parameters are drawn from `chip_rng`; evaluation noise
+  /// comes from an independent stream of the same generator.
+  explicit ArbiterPuf(const sim::Rng& chip_rng,
+                      double noise_sigma = kDefaultNoiseSigma);
+
+  /// Noise-free delay difference for a challenge (test/analysis hook).
+  [[nodiscard]] double delay_difference(std::uint64_t challenge) const;
+
+  /// One noisy evaluation.
+  bool response(std::uint64_t challenge);
+
+  /// Majority vote of `votes` evaluations (odd count).
+  bool response_voted(std::uint64_t challenge,
+                      unsigned votes = kDefaultVotes);
+
+  /// 64-bit identification key for a key slot: challenges are derived from
+  /// `domain` by hashing, one per bit, each response majority-voted.
+  Key64 identification_key(std::uint64_t domain,
+                           unsigned votes = kDefaultVotes);
+
+ private:
+  std::array<double, kStages + 1> weights_{};
+  double noise_sigma_;
+  sim::Rng noise_rng_;
+};
+
+}  // namespace analock::lock

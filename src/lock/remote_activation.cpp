@@ -1,0 +1,161 @@
+#include "lock/remote_activation.h"
+
+#include <array>
+
+#include "lock/key_layout.h"
+
+namespace analock::lock {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<u128>(a) * b % m);
+}
+
+/// Extended Euclid: modular inverse of a mod m (a, m coprime).
+std::uint64_t mod_inverse(std::uint64_t a, std::uint64_t m) {
+  std::int64_t t = 0;
+  std::int64_t new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(m);
+  std::int64_t new_r = static_cast<std::int64_t>(a);
+  while (new_r != 0) {
+    const std::int64_t q = r / new_r;
+    t -= q * new_t;
+    std::swap(t, new_t);
+    r -= q * new_r;
+    std::swap(r, new_r);
+  }
+  if (t < 0) t += static_cast<std::int64_t>(m);
+  return static_cast<std::uint64_t>(t);
+}
+
+/// Framing nonce folded into each plaintext chunk so a decryption with
+/// the wrong private key is detected.
+constexpr std::uint64_t kFrameTag = 0x5A;
+
+}  // namespace
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1u) result = mod_mul(result, base, m);
+    base = mod_mul(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (const std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull,
+                                17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // These witnesses are exact for every n < 2^64.
+  for (const std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull,
+                                17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = mod_pow(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (unsigned i = 1; i < r; ++i) {
+      x = mod_mul(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_u64(std::uint64_t n) {
+  if (n <= 2) return 2;
+  if ((n & 1u) == 0) ++n;
+  while (!is_prime_u64(n)) n += 2;
+  return n;
+}
+
+RsaKeyPair RsaKeyPair::derive(std::uint64_t seed) {
+  // Two ~31-bit primes from the seed material -> ~62-bit modulus.
+  sim::Rng rng(seed);
+  RsaKeyPair kp;
+  kp.e = 65537;
+  for (;;) {
+    const std::uint64_t p =
+        next_prime_u64((rng.next_u64() >> 34) | (1ull << 30));
+    const std::uint64_t q =
+        next_prime_u64((rng.next_u64() >> 34) | (1ull << 30));
+    if (p == q) continue;
+    const std::uint64_t phi = (p - 1) * (q - 1);
+    if (phi % kp.e == 0) continue;  // e must be coprime with phi
+    kp.n = p * q;
+    kp.d = mod_inverse(kp.e, phi);
+    return kp;
+  }
+}
+
+RemoteActivationChip::RemoteActivationChip(ArbiterPuf& puf,
+                                           std::size_t slots)
+    : keys_(slots) {
+  // The key-pair seed is a PUF-derived secret: re-derived at every
+  // power-on, never stored. Domain 0xAC is reserved for activation.
+  keypair_ = RsaKeyPair::derive(puf.identification_key(0xAC).bits());
+}
+
+RsaPublicKey RemoteActivationChip::public_key() const {
+  return {keypair_.n, keypair_.e};
+}
+
+WrappedKey wrap_key(const Key64& config_key, const RsaPublicKey& chip_key) {
+  // Frame each 32-bit half with the tag byte; plaintext stays < 2^40,
+  // comfortably below the ~2^62 modulus.
+  const std::uint64_t lo =
+      (config_key.bits() & 0xFFFFFFFFull) | (kFrameTag << 32);
+  const std::uint64_t hi = (config_key.bits() >> 32) | (kFrameTag << 32);
+  return {mod_pow(lo, chip_key.e, chip_key.n),
+          mod_pow(hi, chip_key.e, chip_key.n)};
+}
+
+bool RemoteActivationChip::install_wrapped_key(std::size_t slot,
+                                               const WrappedKey& wrapped) {
+  if (slot >= keys_.size()) return false;
+  const std::uint64_t lo = mod_pow(wrapped.c_lo, keypair_.d, keypair_.n);
+  const std::uint64_t hi = mod_pow(wrapped.c_hi, keypair_.d, keypair_.n);
+  if ((lo >> 32) != kFrameTag || (hi >> 32) != kFrameTag) {
+    return false;  // wrong chip or corrupted ciphertext
+  }
+  keys_[slot] =
+      Key64{(lo & 0xFFFFFFFFull) | ((hi & 0xFFFFFFFFull) << 32)};
+  return true;
+}
+
+void RemoteActivationChip::provision(std::size_t slot,
+                                     const Key64& config_key) {
+  // Local provisioning path (e.g. low-volume flow where chips return to
+  // the design house): equivalent to wrap + install done on-site.
+  install_wrapped_key(slot, wrap_key(config_key, public_key()));
+}
+
+std::optional<Key64> RemoteActivationChip::load(std::size_t slot) {
+  if (slot >= keys_.size()) return std::nullopt;
+  return keys_[slot];
+}
+
+std::size_t RemoteActivationChip::storage_bits() const {
+  // Installed keys live in on-chip NVM like the LUT scheme; the RSA pair
+  // is re-derived from the PUF and costs no storage.
+  return keys_.size() * KeyLayout::kKeyBits;
+}
+
+}  // namespace analock::lock

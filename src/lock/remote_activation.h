@@ -1,0 +1,104 @@
+// Remote activation with asymmetric cryptography (paper Section IV.B.4):
+// "For high-volume products, it is straightforward to adapt the concept
+// of remotely activating the chips using asymmetric cryptography [15]"
+// (Roy et al., EPIC).
+//
+// Flow, adapted to the programmability-fabric lock:
+//   1. At its first power-on on the (untrusted) test floor, the chip
+//      derives an RSA key pair from its PUF — the private key never
+//      leaves the die and is re-derived, not stored.
+//   2. The test floor forwards the chip's public key together with the
+//      calibration measurements to the design house.
+//   3. The design house runs the (secret) calibration algorithm, wraps
+//      the resulting configuration key with the chip's public key, and
+//      returns the ciphertext.
+//   4. The chip decrypts internally and programs its fabric. The
+//      untrusted facility never sees a plaintext configuration key.
+//
+// The RSA here is a 62-bit-modulus demonstrator of the protocol — a
+// stand-in for a production-strength implementation, NOT cryptography to
+// rely on (factoring a 62-bit modulus is trivial). The protocol logic,
+// message framing, and trust boundaries are the object of study.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lock/key64.h"
+#include "lock/key_manager.h"
+#include "lock/puf.h"
+#include "sim/rng.h"
+
+namespace analock::lock {
+
+/// Modular exponentiation (base^exp mod m) via 128-bit intermediates.
+[[nodiscard]] std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                                    std::uint64_t m);
+
+/// Deterministic Miller-Rabin, exact for all 64-bit inputs.
+[[nodiscard]] bool is_prime_u64(std::uint64_t n);
+
+/// Next prime >= n (n must leave headroom below 2^63).
+[[nodiscard]] std::uint64_t next_prime_u64(std::uint64_t n);
+
+/// RSA key material over a ~62-bit modulus.
+struct RsaKeyPair {
+  std::uint64_t n = 0;  ///< modulus p*q
+  std::uint64_t e = 0;  ///< public exponent
+  std::uint64_t d = 0;  ///< private exponent
+
+  /// Deterministically generates a key pair from seed material (the chip
+  /// re-derives the same pair from its PUF at every power-on).
+  [[nodiscard]] static RsaKeyPair derive(std::uint64_t seed);
+};
+
+/// The public half, safe to hand to the untrusted test floor.
+struct RsaPublicKey {
+  std::uint64_t n = 0;
+  std::uint64_t e = 0;
+};
+
+/// A wrapped configuration key: the 64-bit word split into two 32-bit
+/// chunks, each RSA-encrypted (chunk < modulus always holds).
+struct WrappedKey {
+  std::uint64_t c_lo = 0;
+  std::uint64_t c_hi = 0;
+};
+
+/// Chip-side endpoint: derives its key pair from the PUF, accepts
+/// wrapped configuration keys, and exposes the KeyManagementScheme
+/// interface so a LockedReceiver can power on from it.
+class RemoteActivationChip final : public KeyManagementScheme {
+ public:
+  RemoteActivationChip(ArbiterPuf& puf, std::size_t slots);
+
+  /// What the chip prints on the tester at first power-on.
+  [[nodiscard]] RsaPublicKey public_key() const;
+
+  /// Installs a ciphertext received from the design house; decrypts
+  /// internally. Returns false if the plaintext fails the framing check
+  /// (wrong chip / corrupted message).
+  bool install_wrapped_key(std::size_t slot, const WrappedKey& wrapped);
+
+  // KeyManagementScheme interface.
+  [[nodiscard]] std::string_view name() const override {
+    return "remote-activation";
+  }
+  [[nodiscard]] std::size_t slots() const override { return keys_.size(); }
+  /// Direct provisioning is not part of this scheme's threat model (the
+  /// design house is remote); it wraps + installs instead.
+  void provision(std::size_t slot, const Key64& config_key) override;
+  [[nodiscard]] std::optional<Key64> load(std::size_t slot) override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+ private:
+  RsaKeyPair keypair_;
+  std::vector<std::optional<Key64>> keys_;
+};
+
+/// Design-house side: wraps a configuration key for a specific chip.
+[[nodiscard]] WrappedKey wrap_key(const Key64& config_key,
+                                  const RsaPublicKey& chip_key);
+
+}  // namespace analock::lock

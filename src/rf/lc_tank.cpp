@@ -1,0 +1,90 @@
+#include "rf/lc_tank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace analock::rf {
+
+LcTank::LcTank(const sim::ProcessVariation& process)
+    : inductance_(kInductanceNominalHenry * (1.0 + process.tank_l_rel)),
+      fixed_cap_(kFixedCapNominalFarad * (1.0 + process.tank_c_rel)),
+      q_intrinsic_(process.tank_q_intrinsic),
+      mismatch_rel_(process.tank_mismatch_rel) {}
+
+double LcTank::capacitance(std::uint32_t coarse, std::uint32_t fine) const {
+  return fixed_cap_ + static_cast<double>(coarse & kCoarseMax) * kCoarseStepFarad +
+         static_cast<double>(fine & kFineMax) * kFineStepFarad;
+}
+
+double LcTank::resonance_hz(std::uint32_t coarse, std::uint32_t fine) const {
+  const double c = capacitance(coarse, fine);
+  return 1.0 / (2.0 * std::numbers::pi * std::sqrt(inductance_ * c));
+}
+
+double LcTank::inv_q_effective(std::uint32_t q_code) const {
+  return 1.0 / q_intrinsic_ -
+         static_cast<double>(q_code & kQEnhMax) * kQEnhStep;
+}
+
+bool LcTank::oscillates(std::uint32_t q_code) const {
+  return inv_q_effective(q_code) <= 0.0;
+}
+
+double LcTank::pole_angle(std::uint32_t coarse, std::uint32_t fine,
+                          double fs_hz) const {
+  const double f = resonance_hz(coarse, fine);
+  // Angles are clamped to (0, pi): resonances beyond Nyquist alias onto
+  // the folding frequency in the sampled loop.
+  const double theta = 2.0 * std::numbers::pi * f / fs_hz;
+  return std::clamp(theta, 1e-3, std::numbers::pi - 1e-3);
+}
+
+double LcTank::pole_radius(std::uint32_t coarse, std::uint32_t fine,
+                           std::uint32_t q_code, double fs_hz) const {
+  const double theta = pole_angle(coarse, fine, fs_hz);
+  const double inv_q = inv_q_effective(q_code);
+  // r = exp(-theta * invQ / 2); invQ < 0 gives r > 1 (growth/oscillation).
+  return std::exp(-theta * inv_q / 2.0);
+}
+
+void Resonator::configure(double theta, double r) {
+  theta_ = theta;
+  r_ = r;
+  cos_theta_ = std::cos(theta);
+}
+
+double soft_rail(double x, double rail) {
+  const double knee = 0.5 * rail;
+  const double mag = std::abs(x);
+  if (mag <= knee) return x;
+  const double span = rail - knee;
+  const double compressed = knee + span * std::tanh((mag - knee) / span);
+  return x < 0.0 ? -compressed : compressed;
+}
+
+double Resonator::step(double x) {
+  // -Gm saturation: the effective radius shrinks once the state envelope
+  // exceeds the AGC knee, so growth self-limits quasi-linearly.
+  double r_eff = r_;
+  const double env_sq = s1_ * s1_ + s2_ * s2_;
+  const double knee_sq = kAgcKnee * kAgcKnee;
+  if (env_sq > knee_sq) {
+    const double excess =
+        (env_sq - knee_sq) / (kStateRail * kStateRail);
+    r_eff = r_ * std::max(0.5, 1.0 - kAgcStrength * excess);
+  }
+  const double a1 = 2.0 * r_eff * cos_theta_;
+  const double a2 = r_eff * r_eff;
+  const double s = soft_rail(a1 * s1_ - a2 * s2_ + x, kStateRail);
+  s2_ = s1_;
+  s1_ = s;
+  return s;
+}
+
+void Resonator::reset() {
+  s1_ = 0.0;
+  s2_ = 0.0;
+}
+
+}  // namespace analock::rf

@@ -1,0 +1,41 @@
+#include "rf/standards.h"
+
+namespace analock::rf {
+
+namespace {
+
+constexpr PerformanceSpec kDefaultSpec{
+    .min_snr_db = 40.0,
+    .min_sfdr_db = 40.0,
+    .ref_input_dbm = -25.0,
+    .min_dynamic_range_db = 60.0,
+};
+
+constexpr std::array<Standard, 6> kStandards{{
+    {"max-3GHz", 3.0e9, 80.0e6, 64.0, 0b000, kDefaultSpec},
+    {"bluetooth", 2.44e9, 2.0e6, 64.0, 0b001, kDefaultSpec},
+    {"zigbee", 2.405e9, 3.0e6, 64.0, 0b010, kDefaultSpec},
+    {"wifi-802.11b", 2.437e9, 22.0e6, 64.0, 0b011, kDefaultSpec},
+    {"low-1.5GHz", 1.5e9, 40.0e6, 64.0, 0b100, kDefaultSpec},
+    {"gps-l1", 1.57542e9, 20.46e6, 64.0, 0b101, kDefaultSpec},
+}};
+
+}  // namespace
+
+const Standard& standard_max_3ghz() { return kStandards[0]; }
+const Standard& standard_bluetooth() { return kStandards[1]; }
+const Standard& standard_zigbee() { return kStandards[2]; }
+const Standard& standard_wifi_80211b() { return kStandards[3]; }
+const Standard& standard_low_1p5ghz() { return kStandards[4]; }
+const Standard& standard_gps_l1() { return kStandards[5]; }
+
+std::span<const Standard> all_standards() { return kStandards; }
+
+const Standard* find_standard(std::string_view name) {
+  for (const Standard& s : kStandards) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace analock::rf

@@ -1,0 +1,66 @@
+// Multi-standard operation-mode descriptors.
+//
+// The receiver is reconfigurable over 1.5-3.0 GHz (paper Section V):
+// Bluetooth, ZigBee, WiFi 802.11b, etc. A Standard fixes the RF center
+// frequency F0 (hence fs = 4*F0), the channel band of interest, and the
+// performance specification that the locking criterion checks (locking
+// succeeds when at least one performance violates its specification,
+// Section VI.A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace analock::rf {
+
+/// Performance specification for one operation mode. A configuration is
+/// "unlocked" only if every entry is met (paper: locking succeeds when at
+/// least one performance violates its specification).
+struct PerformanceSpec {
+  double min_snr_db = 40.0;    ///< at the reference input power
+  double min_sfdr_db = 40.0;   ///< two-tone SFDR at reference power
+  double ref_input_dbm = -25.0;  ///< power used for SNR checks
+  double min_dynamic_range_db = 60.0;  ///< usable input span (Fig. 11)
+};
+
+/// One supported communication standard / operation mode.
+struct Standard {
+  std::string_view name;
+  double f0_hz;          ///< RF center frequency; fs = 4 * f0
+  double bandwidth_hz;   ///< channel bandwidth of interest
+  double osr;            ///< oversampling ratio used by the metrology
+  std::uint32_t digital_mode;  ///< 3-bit digital-section programming word
+  PerformanceSpec spec;
+
+  [[nodiscard]] double fs_hz() const { return 4.0 * f0_hz; }
+};
+
+/// The maximum-frequency mode used throughout the paper's evaluation
+/// ("we will consider the maximum center frequency, e.g. 3 GHz").
+[[nodiscard]] const Standard& standard_max_3ghz();
+
+/// Bluetooth, 2.44 GHz.
+[[nodiscard]] const Standard& standard_bluetooth();
+
+/// ZigBee (802.15.4), 2.405 GHz.
+[[nodiscard]] const Standard& standard_zigbee();
+
+/// WiFi 802.11b, 2.437 GHz (channel 6).
+[[nodiscard]] const Standard& standard_wifi_80211b();
+
+/// Low end of the tuning range, 1.5 GHz.
+[[nodiscard]] const Standard& standard_low_1p5ghz();
+
+/// GPS L1, 1.57542 GHz.
+[[nodiscard]] const Standard& standard_gps_l1();
+
+/// All supported standards, in LUT order (the key-management LUT of
+/// Fig. 3 stores one configuration setting per entry).
+[[nodiscard]] std::span<const Standard> all_standards();
+
+/// Looks a standard up by name; returns nullptr if unknown.
+[[nodiscard]] const Standard* find_standard(std::string_view name);
+
+}  // namespace analock::rf

@@ -1,0 +1,30 @@
+#include "sim/process.h"
+
+#include <algorithm>
+
+namespace analock::sim {
+
+ProcessVariation ProcessVariation::monte_carlo(const Rng& rng,
+                                               std::uint64_t chip_id) {
+  Rng stream = rng.fork("process-variation", chip_id);
+  ProcessVariation p;
+  p.tank_c_rel = stream.gaussian(0.0, 0.12);
+  p.tank_l_rel = stream.gaussian(0.0, 0.05);
+  p.tank_q_intrinsic = std::max(4.0, stream.gaussian(8.0, 1.0));
+  p.tank_mismatch_rel = stream.gaussian(0.0, 0.002);
+  p.gmin_rel = stream.gaussian(0.0, 0.08);
+  p.dac_gain_rel = stream.gaussian(0.0, 0.05);
+  p.preamp_gain_rel = stream.gaussian(0.0, 0.08);
+  p.comparator_offset = stream.gaussian(0.0, 0.02);
+  p.comparator_noise_rel = stream.gaussian(0.0, 0.10);
+  // Parasitic excess delay spreads around 0.35 samples; the 4-bit delay
+  // code (1/15-sample steps) must bring the total loop delay back to the
+  // 2-sample design point, so the correct code is chip-dependent.
+  p.loop_delay_parasitic = std::clamp(stream.gaussian(0.35, 0.12), 0.0, 0.7);
+  p.vglna_gain_db_err = stream.gaussian(0.0, 0.5);
+  p.vglna_nf_db_err = stream.gaussian(0.0, 0.3);
+  p.vglna_iip3_dbm_err = stream.gaussian(0.0, 0.5);
+  return p;
+}
+
+}  // namespace analock::sim

@@ -1,0 +1,57 @@
+// Monte-Carlo process-variation model.
+//
+// The paper's configuration settings are unique per chip because the
+// off-chip calibration compensates fabrication spread. This module is the
+// synthetic stand-in for that spread: every fabricated chip instance is a
+// draw of the parameters below from a seeded distribution, so the key that
+// unlocks one chip generally fails on another (Section III / V of the
+// paper, and the per-chip-key resilience argument of Section IV.B.3).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace analock::sim {
+
+/// One fabricated chip instance's deviation from the nominal design.
+///
+/// All *_rel members are relative deviations (0.0 = nominal); offsets and
+/// delays are in the units stated. The magnitudes are representative of a
+/// 65 nm mixed-signal process and were chosen so that an uncalibrated chip
+/// misses its performance specification but is always recoverable by the
+/// calibration algorithm (tunable range covers > 4 sigma of spread).
+struct ProcessVariation {
+  // LC tank of the BP sigma-delta loop filter.
+  double tank_c_rel = 0.0;        ///< fixed-capacitance deviation (sigma 12%)
+  double tank_l_rel = 0.0;        ///< inductance deviation (sigma 5%)
+  double tank_q_intrinsic = 8.0;  ///< intrinsic (unenhanced) tank Q
+  double tank_mismatch_rel = 0.0; ///< resonator-2 vs resonator-1 mismatch
+
+  // Bias-dependent blocks of the modulator.
+  double gmin_rel = 0.0;         ///< input transconductance deviation
+  double dac_gain_rel = 0.0;     ///< feedback DAC gain deviation
+  double preamp_gain_rel = 0.0;  ///< pre-amplifier gain deviation
+  double comparator_offset = 0.0;  ///< input-referred offset, fraction of FS
+  double comparator_noise_rel = 0.0;  ///< comparator noise deviation
+
+  // Loop timing. The feedback path contributes 1 structural sample plus
+  // this parasitic excess; the 4-bit delay code adds 0..1 samples in
+  // 1/15-sample steps, and the loop is designed for 2.0 samples total.
+  double loop_delay_parasitic = 0.35;  ///< parasitic excess delay (samples)
+
+  // VGLNA.
+  double vglna_gain_db_err = 0.0;  ///< gain error applied to every level (dB)
+  double vglna_nf_db_err = 0.0;    ///< noise-figure error (dB)
+  double vglna_iip3_dbm_err = 0.0;  ///< linearity deviation (dB)
+
+  /// The nominal (typical-corner) chip.
+  [[nodiscard]] static ProcessVariation nominal() { return {}; }
+
+  /// Draws one chip instance. `chip_id` selects an independent stream from
+  /// `rng`'s seed material so chips are reproducible individually.
+  [[nodiscard]] static ProcessVariation monte_carlo(const Rng& rng,
+                                                    std::uint64_t chip_id);
+};
+
+}  // namespace analock::sim

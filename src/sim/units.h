@@ -1,0 +1,74 @@
+// Unit conversions used throughout the behavioral RF simulation.
+//
+// Conventions:
+//  * Power levels are referred to a 50-ohm system impedance unless noted.
+//  * "Amplitude" always means the peak amplitude of a sinusoid in volts.
+//  * dB helpers operate on power ratios; dB20 helpers on voltage ratios.
+#pragma once
+
+#include <cmath>
+
+namespace analock::sim {
+
+/// System reference impedance for dBm <-> volts conversions (ohms).
+inline constexpr double kSystemImpedanceOhm = 50.0;
+
+/// Boltzmann constant (J/K), used for thermal-noise floors.
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Standard noise-reference temperature (K).
+inline constexpr double kT0Kelvin = 290.0;
+
+/// Convert a power ratio to decibels. Returns -infinity for ratio <= 0.
+[[nodiscard]] inline double to_db(double power_ratio) {
+  return 10.0 * std::log10(power_ratio);
+}
+
+/// Convert decibels to a power ratio.
+[[nodiscard]] inline double from_db(double db) {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Convert a voltage ratio to decibels (20*log10).
+[[nodiscard]] inline double to_db20(double voltage_ratio) {
+  return 20.0 * std::log10(voltage_ratio);
+}
+
+/// Convert decibels to a voltage ratio (10^(db/20)).
+[[nodiscard]] inline double from_db20(double db) {
+  return std::pow(10.0, db / 20.0);
+}
+
+/// Power in watts for a level in dBm.
+[[nodiscard]] inline double dbm_to_watts(double dbm) {
+  return std::pow(10.0, (dbm - 30.0) / 10.0);
+}
+
+/// Level in dBm for a power in watts. Returns -infinity for watts <= 0.
+[[nodiscard]] inline double watts_to_dbm(double watts) {
+  return 10.0 * std::log10(watts) + 30.0;
+}
+
+/// Peak amplitude (volts) of a sinusoid dissipating `dbm` into 50 ohms.
+/// P = Vrms^2 / R and Vpeak = sqrt(2) * Vrms.
+[[nodiscard]] inline double dbm_to_peak_volts(double dbm) {
+  return std::sqrt(2.0 * kSystemImpedanceOhm * dbm_to_watts(dbm));
+}
+
+/// Level in dBm of a sinusoid with the given peak amplitude into 50 ohms.
+[[nodiscard]] inline double peak_volts_to_dbm(double peak_volts) {
+  const double watts = peak_volts * peak_volts / (2.0 * kSystemImpedanceOhm);
+  return watts_to_dbm(watts);
+}
+
+/// RMS voltage of thermal noise kTRB in a bandwidth `bw_hz` with noise
+/// figure `nf_db` (dB) referred to the 50-ohm source.
+[[nodiscard]] inline double thermal_noise_rms_volts(double bw_hz,
+                                                    double nf_db = 0.0) {
+  const double psd_w_per_hz =
+      kBoltzmann * kT0Kelvin * from_db(nf_db);  // available noise power
+  const double watts = psd_w_per_hz * bw_hz;
+  return std::sqrt(watts * kSystemImpedanceOhm);
+}
+
+}  // namespace analock::sim

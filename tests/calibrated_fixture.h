@@ -1,0 +1,40 @@
+// Shared test fixture: a pair of calibrated Monte-Carlo chips (victim and
+// donor) for the attack and integration tests. Calibration runs once per
+// test binary.
+#pragma once
+
+#include "calib/calibrator.h"
+#include "lock/evaluator.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace analock::fixtures {
+
+struct Chip {
+  sim::ProcessVariation pv;
+  sim::Rng rng;
+  calib::CalibrationResult cal;
+};
+
+inline const Chip& chip(std::uint64_t id) {
+  static const auto make = [](std::uint64_t chip_id) {
+    sim::Rng master(20260704);
+    Chip c{sim::ProcessVariation::monte_carlo(master, chip_id),
+           master.fork("chip", chip_id), {}};
+    calib::Calibrator calibrator(rf::standard_max_3ghz(), c.pv, c.rng);
+    c.cal = calibrator.run();
+    return c;
+  };
+  static const Chip chip0 = make(0);
+  static const Chip chip1 = make(1);
+  return id == 0 ? chip0 : chip1;
+}
+
+inline lock::LockEvaluator make_evaluator(std::uint64_t id,
+                                          lock::EvaluatorOptions options = {}) {
+  const Chip& c = chip(id);
+  return lock::LockEvaluator(rf::standard_max_3ghz(), c.pv, c.rng, options);
+}
+
+}  // namespace analock::fixtures

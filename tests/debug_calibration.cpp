@@ -1,0 +1,37 @@
+// Scratch diagnostic: run the 14-step calibration on a few Monte-Carlo
+// chips and print the outcome. Not part of the test suite.
+#include <cstdio>
+
+#include "calib/calibrator.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+using namespace analock;
+
+int main(int argc, char** argv) {
+  const int chips = argc > 1 ? std::atoi(argv[1]) : 3;
+  const rf::Standard& mode = rf::standard_max_3ghz();
+  sim::Rng master(2026);
+  for (int c = 0; c < chips; ++c) {
+    const auto pv =
+        sim::ProcessVariation::monte_carlo(master, static_cast<std::uint64_t>(c));
+    calib::Calibrator calibrator(mode, pv, master.fork("chip", (std::uint64_t)c));
+    const auto r = calibrator.run();
+    std::printf(
+        "chip %d: success=%d key=%s snr_mod=%.1f snr_rx=%.1f sfdr=%.1f "
+        "ferr=%.2fMHz meas=%zu\n",
+        c, r.success, r.key.to_hex().c_str(), r.snr_modulator_db,
+        r.snr_receiver_db, r.sfdr_db, r.tank_freq_err_hz / 1e6,
+        r.total_measurements);
+    std::printf(
+        "   caps=(%u,%u) q=%u delay=%u biases=(%u,%u,%u,%u) vglna=(%u,%u,%u)\n",
+        r.config.modulator.cap_coarse, r.config.modulator.cap_fine,
+        r.config.modulator.q_enh, r.config.modulator.loop_delay,
+        r.config.modulator.gmin_bias, r.config.modulator.dac_bias,
+        r.config.modulator.preamp_bias, r.config.modulator.comp_bias,
+        r.vglna_per_segment[0], r.vglna_per_segment[1],
+        r.vglna_per_segment[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Scratch diagnostic: PSD shape of the modulator around fs/4 for the
+// hand-derived correct configuration. Not part of the test suite.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "dsp/spectrum.h"
+#include "dsp/tonegen.h"
+#include "rf/bp_sigma_delta.h"
+#include "rf/receiver.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+using namespace analock;
+
+int main() {
+  const rf::Standard& mode = rf::standard_max_3ghz();
+  const auto pv = sim::ProcessVariation::nominal();
+  const rf::LcTank tank(pv);
+
+  rf::ModulatorConfig cfg;
+  const double c_needed =
+      1.0 / (tank.inductance() * std::pow(2.0 * M_PI * mode.f0_hz, 2.0));
+  cfg.cap_coarse = static_cast<std::uint32_t>(
+      std::floor((c_needed - tank.fixed_cap()) / rf::LcTank::kCoarseStepFarad));
+  const double resid = c_needed - tank.capacitance(cfg.cap_coarse, 0);
+  cfg.cap_fine = static_cast<std::uint32_t>(
+      std::clamp(std::round(resid / rf::LcTank::kFineStepFarad), 0.0, 255.0));
+  cfg.q_enh = 0;
+  for (std::uint32_t q = 0; q <= 63; ++q)
+    if (!tank.oscillates(q)) cfg.q_enh = q;
+  cfg.gmin_bias = rf::bias_code_for_multiplier(1.0);
+  cfg.dac_bias = rf::bias_code_for_multiplier(1.0);
+  cfg.preamp_bias = rf::bias_code_for_multiplier(1.0);
+  cfg.comp_bias = rf::bias_code_for_multiplier(1.2);
+  cfg.loop_delay = static_cast<std::uint32_t>(
+      std::round((1.0 - pv.loop_delay_parasitic) * 15.0));
+
+  std::printf("coarse=%u fine=%u q=%u delay=%u\n", cfg.cap_coarse, cfg.cap_fine,
+              cfg.q_enh, cfg.loop_delay);
+  std::printf("f_res=%.4f GHz (target %.4f)\n",
+              tank.resonance_hz(cfg.cap_coarse, cfg.cap_fine) / 1e9,
+              mode.f0_hz / 1e9);
+  std::printf("pole r=%.6f theta/pi=%.6f\n",
+              tank.pole_radius(cfg.cap_coarse, cfg.cap_fine, cfg.q_enh,
+                               mode.fs_hz()),
+              tank.pole_angle(cfg.cap_coarse, cfg.cap_fine, mode.fs_hz()) /
+                  M_PI);
+
+  sim::Rng rng(42);
+  rf::BpSigmaDelta sd(mode, pv, rng);
+  sd.configure(cfg);
+  const double offset = rf::default_tone_offset_hz(mode);
+  auto gen = dsp::single_tone_dbm(mode.f0_hz + offset, -25.0, mode.fs_hz());
+  auto in = gen.generate(2048 + 8192);
+  for (auto& x : in) x *= 10.0;  // VGLNA stand-in, 20 dB
+  const auto cap = sd.run(in, 2048);
+
+  // State statistics.
+  double rms = 0.0;
+  for (double y : cap.output) rms += y * y;
+  std::printf("output rms = %.3f\n", std::sqrt(rms / (double)cap.output.size()));
+
+  dsp::Periodogram p(cap.output, mode.fs_hz());
+  const auto snr =
+      dsp::measure_snr_osr(p, mode.f0_hz + offset, mode.fs_hz() / 4.0, mode.osr);
+  std::printf("SNR = %.2f dB  sig=%.3e noise=%.3e found=%d\n", snr.snr_db,
+              snr.signal_power, snr.noise_power, snr.signal_found);
+
+  // PSD profile: average bin power in decade slices around fs/4.
+  const std::size_t center = p.bin_of(mode.fs_hz() / 4.0);
+  for (int span : {2, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    double acc = 0;
+    int cnt = 0;
+    for (int d = -span; d <= span; ++d) {
+      const std::size_t k = center + (std::size_t)d;
+      if (std::abs(d) <= span / 2) continue;
+      acc += p.power()[k];
+      ++cnt;
+    }
+    std::printf("  bins +/-%4d..%4d : avg %.2e (%.1f dB)\n", span / 2, span,
+                acc / cnt, 10 * std::log10(acc / cnt));
+  }
+  // Strongest bins inside the metrology band, excluding the signal lobe.
+  const std::size_t ksig = p.bin_of(mode.f0_hz + offset);
+  std::printf("center bin=%zu signal bin=%zu\n", center, ksig);
+  for (int d = -32; d <= 32; ++d) {
+    const std::size_t k = center + (std::size_t)d;
+    if (k + 3 >= ksig && k <= ksig + 3) continue;
+    if (p.power()[k] > 3e-7)
+      std::printf("  band bin %+d (abs %zu): %.2e\n", d, k, p.power()[k]);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Unit tests for calibration steps 11-14 (bias optimization).
+#include <gtest/gtest.h>
+
+#include "calib/bias_optimizer.h"
+#include "lock/key_layout.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace analock;
+using calib::BiasOptimizer;
+
+/// A configuration with the tank already tuned (nominal chip) but biases
+/// deliberately off.
+rf::ReceiverConfig detuned_bias_config() {
+  rf::ReceiverConfig cfg;
+  cfg.vglna_gain = 10;
+  cfg.modulator.cap_coarse = 19;  // analytic tank tuning, nominal chip
+  cfg.modulator.cap_fine = 102;
+  cfg.modulator.q_enh = 21;
+  cfg.modulator.gmin_bias = 10;
+  cfg.modulator.dac_bias = 55;
+  cfg.modulator.preamp_bias = 5;
+  cfg.modulator.comp_bias = 60;
+  cfg.modulator.loop_delay = 2;
+  return cfg;
+}
+
+TEST(BiasOptimizer, ImprovesDetunedConfiguration) {
+  const auto pv = sim::ProcessVariation::nominal();
+  BiasOptimizer opt(rf::standard_max_3ghz(), pv, sim::Rng(60));
+  const auto start = detuned_bias_config();
+  const double snr_before = opt.measure_snr(start);
+  const auto improved = opt.optimize(start);
+  const double snr_after = opt.measure_snr(improved);
+  EXPECT_GT(snr_after, snr_before + 5.0);
+  EXPECT_GT(snr_after, 40.0);
+}
+
+TEST(BiasOptimizer, LeavesTankCodesAlone) {
+  const auto pv = sim::ProcessVariation::nominal();
+  BiasOptimizer opt(rf::standard_max_3ghz(), pv, sim::Rng(60));
+  const auto start = detuned_bias_config();
+  const auto improved = opt.optimize(start);
+  EXPECT_EQ(improved.modulator.cap_coarse, start.modulator.cap_coarse);
+  EXPECT_EQ(improved.modulator.cap_fine, start.modulator.cap_fine);
+  EXPECT_EQ(improved.modulator.q_enh, start.modulator.q_enh);
+  EXPECT_EQ(improved.vglna_gain, start.vglna_gain);
+}
+
+TEST(BiasOptimizer, FindsLoopDelayNearDesignPoint) {
+  const auto pv = sim::ProcessVariation::nominal();
+  BiasOptimizer opt(rf::standard_max_3ghz(), pv, sim::Rng(60));
+  const auto improved = opt.optimize(detuned_bias_config());
+  // Design point: parasitic 0.35 + code/15 + 1 structural = 2.0 samples
+  // -> code ~ 9.75. SNR is flat within ~2 codes of it.
+  EXPECT_GE(improved.modulator.loop_delay, 4u);
+  EXPECT_LE(improved.modulator.loop_delay, 15u);
+}
+
+TEST(BiasOptimizer, MeasurementCountIsBudgeted) {
+  const auto pv = sim::ProcessVariation::nominal();
+  BiasOptimizer::Options options;
+  options.passes = 1;
+  BiasOptimizer opt(rf::standard_max_3ghz(), pv, sim::Rng(60), options);
+  (void)opt.optimize(detuned_bias_config());
+  // 5 fields x (coarse ~9 + refine ~2*step) plus SFDR-gated second
+  // measurements: generously under 400.
+  EXPECT_LT(opt.measurements(), 400u);
+  EXPECT_GT(opt.measurements(), 30u);
+}
+
+TEST(BiasOptimizer, ScoreGatesSfdrWhenSnrIsFarOff) {
+  const auto pv = sim::ProcessVariation::nominal();
+  BiasOptimizer opt(rf::standard_max_3ghz(), pv, sim::Rng(60));
+  // A hopeless config (loop open): score == snr margin, well below zero.
+  rf::ReceiverConfig broken = detuned_bias_config();
+  broken.modulator.feedback_enable = false;
+  broken.modulator.comp_clock_enable = false;
+  broken.modulator.gmin_enable = false;
+  const double score = opt.score(broken);
+  EXPECT_LT(score, -40.0);
+}
+
+TEST(BiasOptimizer, OptimizedConfigMeetsSfdrSpec) {
+  const auto pv = sim::ProcessVariation::nominal();
+  BiasOptimizer opt(rf::standard_max_3ghz(), pv, sim::Rng(60));
+  const auto improved = opt.optimize(detuned_bias_config());
+  EXPECT_GT(opt.measure_sfdr(improved), 38.0);
+}
+
+TEST(BiasOptimizer, SnrAtMeasuresRequestedPower) {
+  const auto pv = sim::ProcessVariation::nominal();
+  BiasOptimizer opt(rf::standard_max_3ghz(), pv, sim::Rng(60));
+  const auto cfg = opt.optimize(detuned_bias_config());
+  const double lo = opt.measure_snr_at(cfg, -45.0);
+  const double hi = opt.measure_snr_at(cfg, -25.0);
+  EXPECT_GT(hi, lo + 10.0);
+}
+
+}  // namespace

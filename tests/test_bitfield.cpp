@@ -1,0 +1,79 @@
+// Unit tests for the bit-field codec used by the key layout.
+#include <gtest/gtest.h>
+
+#include "sim/bitfield.h"
+
+namespace {
+
+using namespace analock::sim;
+
+TEST(BitRange, MaskAndMax) {
+  constexpr BitRange r{4, 8};
+  EXPECT_EQ(r.mask(), 0xFF0ull);
+  EXPECT_EQ(r.max_value(), 255ull);
+}
+
+TEST(BitRange, FullWidthMask) {
+  constexpr BitRange r{0, 64};
+  EXPECT_EQ(r.mask(), ~std::uint64_t{0});
+  EXPECT_EQ(r.max_value(), ~std::uint64_t{0});
+}
+
+TEST(BitRange, SingleBit) {
+  constexpr BitRange r{63, 1};
+  EXPECT_EQ(r.mask(), 0x8000000000000000ull);
+  EXPECT_EQ(r.max_value(), 1ull);
+}
+
+TEST(BitRange, OverlapDetection) {
+  constexpr BitRange a{0, 4};
+  constexpr BitRange b{4, 8};
+  constexpr BitRange c{3, 2};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(Bitfield, ExtractInsertRoundTrip) {
+  constexpr BitRange r{12, 8};
+  std::uint64_t word = 0xDEADBEEFCAFEF00Dull;
+  for (std::uint64_t v : {0ull, 1ull, 77ull, 255ull}) {
+    const std::uint64_t updated = insert_bits(word, r, v);
+    EXPECT_EQ(extract_bits(updated, r), v);
+    // Other bits untouched.
+    EXPECT_EQ(updated & ~r.mask(), word & ~r.mask());
+  }
+}
+
+TEST(Bitfield, InsertIsIdempotent) {
+  constexpr BitRange r{20, 6};
+  const std::uint64_t w1 = insert_bits(0, r, 33);
+  const std::uint64_t w2 = insert_bits(w1, r, 33);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(Bitfield, SingleBitOps) {
+  std::uint64_t w = 0;
+  w = insert_bit(w, 58, true);
+  EXPECT_TRUE(extract_bit(w, 58));
+  EXPECT_FALSE(extract_bit(w, 57));
+  w = insert_bit(w, 58, false);
+  EXPECT_EQ(w, 0ull);
+}
+
+TEST(Bitfield, HammingDistance) {
+  EXPECT_EQ(hamming_distance(0, 0), 0u);
+  EXPECT_EQ(hamming_distance(0, ~std::uint64_t{0}), 64u);
+  EXPECT_EQ(hamming_distance(0b1010, 0b0101), 4u);
+  EXPECT_EQ(hamming_distance(0x8000000000000001ull, 0x0000000000000001ull),
+            1u);
+}
+
+TEST(Bitfield, ConstexprUsable) {
+  constexpr BitRange r{4, 8};
+  constexpr std::uint64_t w = insert_bits(0, r, 0xAB);
+  static_assert(extract_bits(w, r) == 0xAB);
+  EXPECT_EQ(extract_bits(w, r), 0xABull);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Unit tests for the brute-force attack (paper Section VI.B.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/brute_force.h"
+#include "calibrated_fixture.h"
+
+namespace {
+
+using namespace analock;
+using attack::BruteForceAttack;
+using attack::BruteForceOptions;
+
+TEST(BruteForce, RandomKeysFailWithinBudget) {
+  auto ev = fixtures::make_evaluator(0);
+  BruteForceAttack attack(ev, sim::Rng(1000));
+  BruteForceOptions options;
+  options.max_trials = 200;
+  const auto result = attack.run(options);
+  // A rare key class (loop open, comparator clocked, tank near-tuned:
+  // a high-Q filter + slicer) can beat the SNR screen, but the full
+  // specification check (SFDR) still rejects it — the paper's "at least
+  // one performance violates its specification" criterion.
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.trials, 200u);
+}
+
+TEST(BruteForce, ScreenDistributionMatchesFig7Shape) {
+  // Fig. 7: most invalid keys < 0 dB, a small tail above 10 dB, none at
+  // the correct-key level.
+  auto ev = fixtures::make_evaluator(0);
+  BruteForceAttack attack(ev, sim::Rng(1001));
+  BruteForceOptions options;
+  options.max_trials = 100;
+  const auto result = attack.run(options);
+  ASSERT_EQ(result.screen_snr_db.size(), 100u);
+  const auto below_zero = std::count_if(
+      result.screen_snr_db.begin(), result.screen_snr_db.end(),
+      [](double s) { return s < 0.0; });
+  EXPECT_GT(below_zero, 50) << "most invalid keys bury the signal";
+  // A few percent of keys may pass the SNR screen (filter + slicer
+  // class); none may survive the full spec check.
+  const auto above_spec = std::count_if(
+      result.screen_snr_db.begin(), result.screen_snr_db.end(),
+      [&](double s) { return s >= ev.standard().spec.min_snr_db; });
+  EXPECT_LE(above_spec, 5);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(BruteForce, CostAccountingMatchesTrials) {
+  auto ev = fixtures::make_evaluator(0);
+  BruteForceAttack attack(ev, sim::Rng(1002));
+  BruteForceOptions options;
+  options.max_trials = 50;
+  const auto result = attack.run(options);
+  EXPECT_GE(result.cost.snr_trials, 50u);
+  // Paper projection: 50 trials x 20 min > 16 hours of simulation.
+  EXPECT_GT(result.cost.simulation_hours(), 16.0);
+}
+
+TEST(BruteForce, ForcingMissionModeHelpsButNotEnough) {
+  // Even knowing the mode-bit semantics, 58 tuning bits still defeat a
+  // small random search.
+  auto ev = fixtures::make_evaluator(0);
+  BruteForceAttack attack(ev, sim::Rng(1003));
+  BruteForceOptions options;
+  options.max_trials = 100;
+  options.force_mission_mode = true;
+  const auto result = attack.run(options);
+  EXPECT_FALSE(result.success);
+  // But the screen distribution improves (more keys with signal present).
+  const auto above_zero = std::count_if(
+      result.screen_snr_db.begin(), result.screen_snr_db.end(),
+      [](double s) { return s > 0.0; });
+  EXPECT_GT(above_zero, 10);
+}
+
+TEST(BruteForce, FindsPlantedKey) {
+  // Sanity: if the keyspace were tiny the attack machinery would succeed —
+  // verify by checking the calibrated key itself passes the screen+verify
+  // pipeline the attack uses.
+  auto ev = fixtures::make_evaluator(0);
+  const auto& key = fixtures::chip(0).cal.key;
+  EXPECT_GT(ev.snr_modulator_db(key), 40.0);
+  EXPECT_GT(ev.snr_receiver_db(key), 40.0);
+  EXPECT_GT(ev.sfdr_db(key), 40.0);
+}
+
+TEST(BruteForce, DeterministicForFixedSeed) {
+  auto ev1 = fixtures::make_evaluator(0);
+  BruteForceAttack a1(ev1, sim::Rng(7));
+  auto ev2 = fixtures::make_evaluator(0);
+  BruteForceAttack a2(ev2, sim::Rng(7));
+  BruteForceOptions options;
+  options.max_trials = 20;
+  const auto r1 = a1.run(options);
+  const auto r2 = a2.run(options);
+  EXPECT_EQ(r1.best_key, r2.best_key);
+  EXPECT_DOUBLE_EQ(r1.best_screen_snr_db, r2.best_screen_snr_db);
+}
+
+}  // namespace

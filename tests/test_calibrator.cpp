@@ -1,0 +1,128 @@
+// Unit tests for the full 14-step calibration procedure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "calib/calibrator.h"
+#include "lock/evaluator.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace analock;
+using calib::CalibrationResult;
+using calib::Calibrator;
+
+/// Calibrate a few Monte-Carlo chips once; several tests inspect the
+/// results.
+const std::vector<CalibrationResult>& calibrated_chips() {
+  static const std::vector<CalibrationResult> results = [] {
+    std::vector<CalibrationResult> out;
+    sim::Rng master(2026);
+    for (std::uint64_t c = 0; c < 3; ++c) {
+      const auto pv = sim::ProcessVariation::monte_carlo(master, c);
+      Calibrator calibrator(rf::standard_max_3ghz(), pv,
+                            master.fork("chip", c));
+      out.push_back(calibrator.run());
+    }
+    return out;
+  }();
+  return results;
+}
+
+TEST(Calibrator, SucceedsOnMonteCarloChips) {
+  for (std::size_t i = 0; i < calibrated_chips().size(); ++i) {
+    const auto& r = calibrated_chips()[i];
+    EXPECT_TRUE(r.success) << "chip " << i;
+    EXPECT_GT(r.snr_modulator_db, 40.0) << "chip " << i;
+    EXPECT_GT(r.snr_receiver_db, 40.0) << "chip " << i;
+    EXPECT_GT(r.sfdr_db, 40.0) << "chip " << i;
+  }
+}
+
+TEST(Calibrator, TankTunedWellInsideBand) {
+  // Band half-width is f0/64; calibration should land within f0/500.
+  for (const auto& r : calibrated_chips()) {
+    EXPECT_LT(std::abs(r.tank_freq_err_hz), 3.0e9 / 500.0);
+  }
+}
+
+TEST(Calibrator, KeysAreUniquePerChip) {
+  std::set<std::uint64_t> keys;
+  for (const auto& r : calibrated_chips()) keys.insert(r.key.bits());
+  EXPECT_EQ(keys.size(), calibrated_chips().size())
+      << "process variation must make configuration settings chip-unique";
+}
+
+TEST(Calibrator, KeyIsInMissionMode) {
+  for (const auto& r : calibrated_chips()) {
+    EXPECT_TRUE(lock::is_mission_mode(r.key));
+  }
+}
+
+TEST(Calibrator, VglnaSegmentsAreStaircase) {
+  // Fig. 11: high-sensitivity segment gets more gain than the mid segment,
+  // which gets more than the high-power segment.
+  for (const auto& r : calibrated_chips()) {
+    EXPECT_GT(r.vglna_per_segment[0], r.vglna_per_segment[1]);
+    EXPECT_GT(r.vglna_per_segment[1], r.vglna_per_segment[2]);
+  }
+}
+
+TEST(Calibrator, LogCoversAllPaperSteps) {
+  const auto& r = calibrated_chips()[0];
+  std::set<int> steps;
+  for (const auto& entry : r.log) steps.insert(entry.step);
+  for (int s = 1; s <= 14; ++s) {
+    EXPECT_TRUE(steps.count(s)) << "missing paper step " << s;
+  }
+}
+
+TEST(Calibrator, MeasurementBudgetIsBounded) {
+  for (const auto& r : calibrated_chips()) {
+    EXPECT_LT(r.total_measurements, 1500u);
+    EXPECT_GT(r.total_measurements, 100u);
+  }
+}
+
+TEST(Calibrator, KeyEncodesTheConfig) {
+  for (const auto& r : calibrated_chips()) {
+    EXPECT_EQ(lock::encode_key(r.config), r.key);
+  }
+}
+
+TEST(Calibrator, ResultVerifiesOnIndependentEvaluator) {
+  sim::Rng master(2026);
+  const auto pv = sim::ProcessVariation::monte_carlo(master, 0);
+  lock::LockEvaluator ev(rf::standard_max_3ghz(), pv,
+                         master.fork("chip", 0));
+  const auto report = ev.evaluate(calibrated_chips()[0].key);
+  EXPECT_TRUE(report.unlocked());
+}
+
+TEST(Calibrator, KeyFromChipADoesNotCalibrateChipB) {
+  // Per-chip uniqueness (Section III): cross-applying keys loses margin.
+  sim::Rng master(2026);
+  const auto pv_b = sim::ProcessVariation::monte_carlo(master, 1);
+  lock::LockEvaluator ev_b(rf::standard_max_3ghz(), pv_b,
+                           master.fork("chip", 1));
+  const auto cross = ev_b.evaluate(calibrated_chips()[0].key);
+  const auto own = ev_b.evaluate(calibrated_chips()[1].key);
+  EXPECT_GT(own.snr_receiver_db, cross.snr_receiver_db)
+      << "chip B must prefer its own key";
+}
+
+TEST(Calibrator, WorksForBluetoothStandard) {
+  sim::Rng master(909);
+  const auto pv = sim::ProcessVariation::monte_carlo(master, 0);
+  Calibrator::Options opt;
+  opt.tune_vglna_segments = false;  // keep this test fast
+  Calibrator calibrator(rf::standard_bluetooth(), pv, master.fork("bt"), opt);
+  const auto r = calibrator.run();
+  EXPECT_GT(r.snr_modulator_db, 40.0);
+  EXPECT_LT(std::abs(r.tank_freq_err_hz), 2.44e9 / 300.0);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Unit tests for the attack cost model (paper Section VI.B.1 numbers).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "attack/cost_model.h"
+
+namespace {
+
+using namespace analock::attack;
+
+TEST(CostModel, PaperSimulationTimes) {
+  AttackCost cost;
+  cost.snr_trials = 3;    // 3 x 20 min = 1 h
+  cost.sweep_trials = 2;  // 2 x 3 h  = 6 h
+  cost.sfdr_trials = 4;   // 4 x 30 min = 2 h
+  EXPECT_NEAR(cost.simulation_hours(), 9.0, 1e-9);
+}
+
+TEST(CostModel, HardwareTrialsAreFast) {
+  AttackCost cost;
+  cost.snr_trials = 1000;
+  EXPECT_NEAR(cost.hardware_seconds(), 10.0, 1e-9);
+}
+
+TEST(CostModel, AccumulationOperator) {
+  AttackCost a;
+  a.snr_trials = 5;
+  AttackCost b;
+  b.snr_trials = 7;
+  b.sfdr_trials = 2;
+  a += b;
+  EXPECT_EQ(a.snr_trials, 12u);
+  EXPECT_EQ(a.sfdr_trials, 2u);
+}
+
+TEST(CostModel, ExpectedTrialsGeometric) {
+  EXPECT_NEAR(expected_trials(64, 1e-6), 1e6, 1.0);
+  EXPECT_NEAR(expected_trials(64, 0.5), 2.0, 1e-9);
+}
+
+TEST(CostModel, ExpectedTrialsCappedByKeyspace) {
+  // Success fraction so small that 1/p exceeds 2^16.
+  EXPECT_NEAR(expected_trials(16, 1e-9), 65536.0, 1.0);
+}
+
+TEST(CostModel, ZeroFractionIsInfinite) {
+  EXPECT_TRUE(std::isinf(expected_trials(64, 0.0)));
+}
+
+TEST(CostModel, SimulationBruteForceIsAstronomical) {
+  // Even a generous 2^-40 success fraction means ~2^40 trials at 20 min
+  // each: the paper's "impractical due to very long analog simulation
+  // times" in numbers.
+  const double trials = expected_trials(64, std::pow(2.0, -40.0));
+  EXPECT_GT(simulation_years(trials), 1.0e7);
+}
+
+TEST(CostModel, HardwareBruteForceStillYears) {
+  const double trials = expected_trials(64, std::pow(2.0, -40.0));
+  EXPECT_GT(hardware_years(trials), 100.0);
+}
+
+TEST(CostModel, RefabOverheadIsPresent) {
+  const TrialCosts costs;
+  EXPECT_GT(costs.refab_weeks, 0.0);
+  EXPECT_GT(costs.refab_usd, 0.0);
+}
+
+}  // namespace

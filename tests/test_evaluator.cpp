@@ -1,0 +1,131 @@
+// Unit tests for the lock-efficiency evaluator.
+#include <gtest/gtest.h>
+
+#include "calib/calibrator.h"
+#include "lock/evaluator.h"
+#include "lock/key_layout.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace analock;
+using lock::Key64;
+using lock::LockEvaluator;
+
+/// Shared calibrated chip (calibration is the slow part; do it once).
+struct CalibratedChip {
+  sim::ProcessVariation pv;
+  sim::Rng rng{2027};
+  calib::CalibrationResult cal;
+
+  CalibratedChip() {
+    pv = sim::ProcessVariation::monte_carlo(rng, 0);
+    calib::Calibrator calibrator(rf::standard_max_3ghz(), pv,
+                                 rng.fork("chip", 0));
+    cal = calibrator.run();
+  }
+};
+
+CalibratedChip& chip() {
+  static CalibratedChip instance;
+  return instance;
+}
+
+LockEvaluator make_evaluator() {
+  return LockEvaluator(rf::standard_max_3ghz(), chip().pv,
+                       chip().rng.fork("chip", 0));
+}
+
+TEST(Evaluator, CalibratedKeyMeetsSpec) {
+  ASSERT_TRUE(chip().cal.success);
+  auto ev = make_evaluator();
+  const auto report = ev.evaluate(chip().cal.key);
+  EXPECT_TRUE(report.unlocked());
+  EXPECT_GT(report.snr_modulator_db, 40.0);
+  EXPECT_GT(report.snr_receiver_db, 40.0);
+  EXPECT_GT(report.sfdr_db, 40.0);
+}
+
+TEST(Evaluator, MeasurementsAreDeterministic) {
+  auto ev = make_evaluator();
+  const double a = ev.snr_modulator_db(chip().cal.key);
+  const double b = ev.snr_modulator_db(chip().cal.key);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Evaluator, ZeroKeyIsLocked) {
+  auto ev = make_evaluator();
+  EXPECT_FALSE(ev.unlocks(Key64{}));
+}
+
+TEST(Evaluator, RandomKeysOverwhelminglyLocked) {
+  auto ev = make_evaluator();
+  sim::Rng rng(99);
+  int unlocked = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (ev.snr_modulator_db(Key64::random(rng)) >= 40.0) ++unlocked;
+  }
+  EXPECT_EQ(unlocked, 0);
+}
+
+TEST(Evaluator, TrialCounterAccumulates) {
+  auto ev = make_evaluator();
+  ev.reset_trials();
+  (void)ev.snr_modulator_db(chip().cal.key);
+  (void)ev.snr_receiver_db(chip().cal.key);
+  (void)ev.sfdr_db(chip().cal.key);
+  EXPECT_EQ(ev.trials(), 3u);
+  ev.reset_trials();
+  EXPECT_EQ(ev.trials(), 0u);
+}
+
+TEST(Evaluator, SnrScalesWithInputPower) {
+  auto ev = make_evaluator();
+  const double lo = ev.snr_modulator_db(chip().cal.key, -45.0);
+  const double ref = ev.snr_modulator_db(chip().cal.key, -25.0);
+  EXPECT_GT(ref, lo + 10.0);
+}
+
+TEST(Evaluator, WrongChipRejectsKey) {
+  // The calibrated key of chip 0 applied to a different process corner
+  // must lose margin (per-chip uniqueness, paper Section III). A 2-sigma
+  // tank shift (+25% C, ~7.5% frequency) pushes the noise notch well out
+  // of band.
+  sim::ProcessVariation other = chip().pv;
+  other.tank_c_rel += 0.25;
+  LockEvaluator ev(rf::standard_max_3ghz(), other,
+                   chip().rng.fork("other-chip"));
+  const auto report = ev.evaluate(chip().cal.key);
+  EXPECT_FALSE(report.unlocked());
+}
+
+TEST(Evaluator, ModeBitCorruptionLocks) {
+  auto ev = make_evaluator();
+  using L = lock::KeyLayout;
+  const Key64 good = chip().cal.key;
+  // Opening the loop with the comparator still clocked leaves a high-Q
+  // filter + slicer: a single tone survives with decent SNR, but the
+  // limiter wrecks the two-tone SFDR — at least one performance violates
+  // its specification, which is the paper's locking criterion.
+  const Key64 open_loop = good.with_bit(L::kFeedbackEnable, false);
+  EXPECT_FALSE(ev.evaluate(open_loop).unlocked());
+  EXPECT_LT(ev.sfdr_db(open_loop), 20.0);
+  // An un-clocked comparator never reaches the digital logic thresholds.
+  EXPECT_LT(ev.snr_receiver_db(good.with_bit(L::kCompClockEnable, false)),
+            10.0);
+  EXPECT_LT(ev.snr_receiver_db(good.with_bit(L::kGminEnable, false)), 0.0);
+  EXPECT_LT(ev.snr_receiver_db(good.with_field(L::kTestMux, 3)), 0.0);
+}
+
+TEST(Evaluator, OptionsControlCaptureLength) {
+  lock::EvaluatorOptions opt;
+  opt.fft_size = 4096;
+  LockEvaluator ev(rf::standard_max_3ghz(), chip().pv,
+                   chip().rng.fork("chip", 0), opt);
+  // Shorter capture still measures the calibrated key above spec.
+  EXPECT_GT(ev.snr_modulator_db(chip().cal.key), 40.0);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Unit tests for the IIR biquad filters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "dsp/iir.h"
+
+namespace {
+
+using namespace analock::dsp;
+
+TEST(Biquad, DefaultIsIdentity) {
+  Biquad bq;
+  for (double x : {1.0, -2.0, 0.5}) EXPECT_DOUBLE_EQ(bq.process(x), x);
+}
+
+TEST(Biquad, LowpassDcGainUnity) {
+  auto bq = Biquad::lowpass(0.1);
+  EXPECT_NEAR(bq.magnitude(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(bq.magnitude(0.1), 1.0 / std::sqrt(2.0), 0.01);
+  EXPECT_LT(bq.magnitude(0.4), 0.1);
+}
+
+TEST(Biquad, HighpassMirrorsLowpass) {
+  auto hp = Biquad::highpass(0.1);
+  EXPECT_NEAR(hp.magnitude(0.5), 1.0, 1e-6);
+  EXPECT_NEAR(hp.magnitude(0.1), 1.0 / std::sqrt(2.0), 0.01);
+  EXPECT_LT(hp.magnitude(0.01), 0.05);
+}
+
+TEST(Biquad, BandpassPeaksAtCenter) {
+  auto bp = Biquad::bandpass(0.15, 5.0);
+  EXPECT_NEAR(bp.magnitude(0.15), 1.0, 0.01);
+  EXPECT_LT(bp.magnitude(0.05), 0.35);
+  EXPECT_LT(bp.magnitude(0.35), 0.35);
+}
+
+TEST(Biquad, NotchNullsAtCenter) {
+  auto notch = Biquad::notch(0.2, 10.0);
+  EXPECT_LT(notch.magnitude(0.2), 1e-6);
+  EXPECT_NEAR(notch.magnitude(0.05), 1.0, 0.05);
+}
+
+TEST(Biquad, TimeDomainMatchesMagnitude) {
+  // Steady-state amplitude of a filtered sine equals |H(f)|.
+  auto bq = Biquad::lowpass(0.1);
+  const double f = 0.08;
+  double peak = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double y =
+        bq.process(std::sin(2.0 * std::numbers::pi * f * i));
+    if (i > 2000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, bq.magnitude(f), 0.05);  // peak sampling ~3% low
+}
+
+TEST(Biquad, DcBlockerRemovesDcKeepsSignal) {
+  auto dc = Biquad::dc_blocker();
+  double last = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    last = dc.process(1.0 + std::sin(0.5 * i));
+  }
+  // DC gone, AC survives: the running output stays bounded around 0.
+  double acc = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    acc += dc.process(1.0 + std::sin(0.5 * (20000 + i)));
+  }
+  EXPECT_NEAR(acc / 2000.0, 0.0, 0.02);
+  (void)last;
+}
+
+TEST(Biquad, ResetClearsState) {
+  auto bq = Biquad::lowpass(0.2);
+  bq.process(10.0);
+  bq.reset();
+  EXPECT_NEAR(bq.process(0.0), 0.0, 1e-12);
+}
+
+class ButterworthOrderTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ButterworthOrderTest, MaximallyFlatAndMonotone) {
+  const auto bw = BiquadCascade::butterworth_lowpass(0.1, GetParam());
+  EXPECT_EQ(bw.order(), 2 * GetParam());
+  EXPECT_NEAR(bw.magnitude(0.0), 1.0, 1e-9);
+  // -3 dB at cutoff, any order.
+  EXPECT_NEAR(bw.magnitude(0.1), 1.0 / std::sqrt(2.0), 0.01);
+  // Monotone decreasing beyond cutoff.
+  double prev = 1.0;
+  for (double f = 0.02; f < 0.5; f += 0.02) {
+    const double m = bw.magnitude(f);
+    EXPECT_LE(m, prev + 1e-9) << "f " << f;
+    prev = m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ButterworthOrderTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(BiquadCascade, SteeperWithOrder) {
+  const auto bw2 = BiquadCascade::butterworth_lowpass(0.1, 1);
+  const auto bw8 = BiquadCascade::butterworth_lowpass(0.1, 4);
+  EXPECT_LT(bw8.magnitude(0.2), bw2.magnitude(0.2) / 10.0);
+}
+
+TEST(BiquadCascade, ProcessMatchesMagnitude) {
+  auto bw = BiquadCascade::butterworth_lowpass(0.12, 2);
+  const double f = 0.1;
+  double peak = 0.0;
+  for (int i = 0; i < 6000; ++i) {
+    const double y =
+        bw.process(std::sin(2.0 * std::numbers::pi * f * i));
+    if (i > 3000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, bw.magnitude(f), 0.05);  // peak sampling ~5% low
+}
+
+}  // namespace

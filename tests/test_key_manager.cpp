@@ -1,0 +1,123 @@
+// Unit tests for the key-management schemes (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include "lock/key_manager.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace analock;
+using namespace analock::lock;
+
+TEST(LutScheme, ProvisionAndLoad) {
+  TamperProofLutScheme lut(6);
+  const Key64 key{0x1234567890ABCDEFull};
+  lut.provision(2, key);
+  const auto loaded = lut.load(2);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, key);
+}
+
+TEST(LutScheme, UnprovisionedSlotIsEmpty) {
+  TamperProofLutScheme lut(6);
+  EXPECT_FALSE(lut.load(0).has_value());
+}
+
+TEST(LutScheme, TamperZeroizes) {
+  TamperProofLutScheme lut(3);
+  lut.provision(0, Key64{42});
+  lut.provision(1, Key64{43});
+  lut.tamper();
+  EXPECT_TRUE(lut.tampered());
+  EXPECT_FALSE(lut.load(0).has_value());
+  EXPECT_FALSE(lut.load(1).has_value());
+  // And stays dead: re-provisioning after tamper is refused.
+  lut.provision(0, Key64{44});
+  EXPECT_FALSE(lut.load(0).has_value());
+}
+
+TEST(LutScheme, PoisonOverwritesSlot) {
+  // The remarking countermeasure: a failing chip gets wrong configuration
+  // settings loaded.
+  TamperProofLutScheme lut(2);
+  lut.provision(0, Key64{42});
+  sim::Rng rng(7);
+  lut.poison(0, rng);
+  const auto loaded = lut.load(0);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_NE(*loaded, Key64{42});
+}
+
+TEST(LutScheme, StorageAccounting) {
+  TamperProofLutScheme lut(6);
+  EXPECT_EQ(lut.storage_bits(), 6u * 64u);
+  EXPECT_EQ(lut.slots(), 6u);
+}
+
+TEST(PufXorScheme, RoundTripRecoversConfigKey) {
+  ArbiterPuf puf(sim::Rng(500));
+  PufXorScheme scheme(puf, 6);
+  const Key64 config{0xFEEDFACE12345678ull};
+  scheme.provision(3, config);
+  const auto loaded = scheme.load(3);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, config);
+}
+
+TEST(PufXorScheme, UserKeyIsNotConfigKey) {
+  ArbiterPuf puf(sim::Rng(500));
+  PufXorScheme scheme(puf, 2);
+  const Key64 config{0xFEEDFACE12345678ull};
+  scheme.provision(0, config);
+  const auto user = scheme.user_key(0);
+  ASSERT_TRUE(user.has_value());
+  EXPECT_NE(*user, config);
+  // Specifically, user XOR id = config: the stored material alone leaks
+  // nothing about the configuration without this chip's PUF.
+  EXPECT_EQ(*user ^ puf.identification_key(0), config);
+}
+
+TEST(PufXorScheme, UserKeysUselessOnAnotherChip) {
+  // Cloning defense: move the user keys to a chip with a different PUF;
+  // the unwrapped configuration is garbage (Hamming distance ~32).
+  ArbiterPuf puf_a(sim::Rng(500));
+  ArbiterPuf puf_b(sim::Rng(501));
+  PufXorScheme scheme_a(puf_a, 1);
+  const Key64 config{0x0123456789ABCDEFull};
+  scheme_a.provision(0, config);
+
+  PufXorScheme scheme_b(puf_b, 1);
+  scheme_b.install_user_key(0, *scheme_a.user_key(0));
+  const auto wrong = scheme_b.load(0);
+  ASSERT_TRUE(wrong.has_value());
+  const unsigned dist = wrong->hamming_distance(config);
+  EXPECT_GT(dist, 16u);
+}
+
+TEST(PufXorScheme, EmptySlotLoadsNothing) {
+  ArbiterPuf puf(sim::Rng(500));
+  PufXorScheme scheme(puf, 4);
+  EXPECT_FALSE(scheme.load(1).has_value());
+}
+
+TEST(PufXorScheme, RepeatedLoadsAgree) {
+  // PUF regeneration noise must not corrupt the unwrapped key (voting).
+  ArbiterPuf puf(sim::Rng(500));
+  PufXorScheme scheme(puf, 1);
+  const Key64 config{0xAAAAAAAA55555555ull};
+  scheme.provision(0, config);
+  for (int i = 0; i < 10; ++i) {
+    const auto loaded = scheme.load(0);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, config) << "power-on " << i;
+  }
+}
+
+TEST(Schemes, NamesDiffer) {
+  ArbiterPuf puf(sim::Rng(1));
+  TamperProofLutScheme lut(1);
+  PufXorScheme pufs(puf, 1);
+  EXPECT_NE(lut.name(), pufs.name());
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Unit tests for the Monte-Carlo process-variation model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace {
+
+using analock::sim::ProcessVariation;
+using analock::sim::Rng;
+
+TEST(Process, NominalIsCentered) {
+  const auto p = ProcessVariation::nominal();
+  EXPECT_EQ(p.tank_c_rel, 0.0);
+  EXPECT_EQ(p.tank_l_rel, 0.0);
+  EXPECT_EQ(p.gmin_rel, 0.0);
+  EXPECT_EQ(p.comparator_offset, 0.0);
+  EXPECT_DOUBLE_EQ(p.tank_q_intrinsic, 8.0);
+  EXPECT_DOUBLE_EQ(p.loop_delay_parasitic, 0.35);
+}
+
+TEST(Process, SameChipIdReproduces) {
+  Rng rng(11);
+  const auto a = ProcessVariation::monte_carlo(rng, 3);
+  const auto b = ProcessVariation::monte_carlo(rng, 3);
+  EXPECT_EQ(a.tank_c_rel, b.tank_c_rel);
+  EXPECT_EQ(a.gmin_rel, b.gmin_rel);
+  EXPECT_EQ(a.loop_delay_parasitic, b.loop_delay_parasitic);
+}
+
+TEST(Process, DifferentChipsDiffer) {
+  Rng rng(11);
+  const auto a = ProcessVariation::monte_carlo(rng, 1);
+  const auto b = ProcessVariation::monte_carlo(rng, 2);
+  EXPECT_NE(a.tank_c_rel, b.tank_c_rel);
+}
+
+TEST(Process, SpreadStatisticsMatchDesign) {
+  Rng rng(42);
+  const int n = 2000;
+  double sum_c = 0.0;
+  double sum_c_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto p = ProcessVariation::monte_carlo(rng, static_cast<std::uint64_t>(i));
+    sum_c += p.tank_c_rel;
+    sum_c_sq += p.tank_c_rel * p.tank_c_rel;
+  }
+  EXPECT_NEAR(sum_c / n, 0.0, 0.012);
+  EXPECT_NEAR(std::sqrt(sum_c_sq / n), 0.12, 0.012);
+}
+
+TEST(Process, ParasiticDelayStaysTunable) {
+  // The 4-bit delay code spans 0..1 samples; the parasitic excess must
+  // leave the 2.0-sample design point reachable: parasitic in [0, 0.7]
+  // keeps the needed trim = 1 - parasitic inside [0.3, 1].
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const auto p = ProcessVariation::monte_carlo(rng, static_cast<std::uint64_t>(i));
+    EXPECT_GE(p.loop_delay_parasitic, 0.0);
+    EXPECT_LE(p.loop_delay_parasitic, 0.7);
+  }
+}
+
+TEST(Process, IntrinsicQStaysOscillatable) {
+  // The -Gm range (step 1/192, max 63) must always be able to overcome the
+  // tank loss: requires Q >= 192/63 ~ 3.05. The model clamps at 4.
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const auto p = ProcessVariation::monte_carlo(rng, static_cast<std::uint64_t>(i));
+    EXPECT_GE(p.tank_q_intrinsic, 4.0);
+    EXPECT_GT(63.0 / 192.0, 1.0 / p.tank_q_intrinsic);
+  }
+}
+
+TEST(Process, CapacitorSpreadStaysInTuningRange) {
+  // The coarse array must reach the 3 GHz target from above for virtually
+  // every chip. The tank spread is deliberately wide (it is what makes
+  // keys chip-unique), so a sub-percent untunable tail is accepted — that
+  // is fab yield, and calibration reports those chips as failing.
+  Rng rng(7);
+  int untunable = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = ProcessVariation::monte_carlo(rng, static_cast<std::uint64_t>(i));
+    const double l = 1.0e-9 * (1.0 + p.tank_l_rel);
+    const double c_fixed = 1.8e-12 * (1.0 + p.tank_c_rel);
+    const double c_needed =
+        1.0 / (l * std::pow(2.0 * M_PI * 3.0e9, 2.0));
+    if (c_needed <= c_fixed) ++untunable;
+    EXPECT_LT(c_needed - c_fixed, 255.0 * 52.0e-15) << "chip " << i;
+  }
+  EXPECT_LE(untunable, 5) << "untunable yield loss must stay below 0.5%";
+}
+
+}  // namespace

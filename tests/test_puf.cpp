@@ -1,0 +1,119 @@
+// Unit tests for the arbiter-PUF model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lock/puf.h"
+#include "sim/rng.h"
+
+namespace {
+
+using analock::lock::ArbiterPuf;
+using analock::lock::Key64;
+using analock::sim::Rng;
+
+TEST(Puf, NoiseFreeDelayIsDeterministic) {
+  ArbiterPuf puf(Rng(100));
+  EXPECT_DOUBLE_EQ(puf.delay_difference(0xABCDu),
+                   puf.delay_difference(0xABCDu));
+}
+
+TEST(Puf, DifferentChallengesDifferentDelays) {
+  ArbiterPuf puf(Rng(100));
+  EXPECT_NE(puf.delay_difference(1), puf.delay_difference(2));
+}
+
+TEST(Puf, VotedResponseIsReliable) {
+  ArbiterPuf puf(Rng(100));
+  // The voted response must be stable across repeated regenerations for
+  // nearly all challenges.
+  Rng chal_rng(5);
+  int unstable = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t c = chal_rng.next_u64();
+    const bool first = puf.response_voted(c);
+    for (int rep = 0; rep < 5; ++rep) {
+      if (puf.response_voted(c) != first) {
+        ++unstable;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(unstable, 4);  // ~2% marginal challenges tolerated
+}
+
+TEST(Puf, IdentificationKeyReproducible) {
+  ArbiterPuf puf(Rng(100));
+  const Key64 a = puf.identification_key(3);
+  const Key64 b = puf.identification_key(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Puf, DifferentSlotsDifferentKeys) {
+  ArbiterPuf puf(Rng(100));
+  EXPECT_NE(puf.identification_key(0), puf.identification_key(1));
+}
+
+TEST(Puf, UniquenessAcrossChips) {
+  // Inter-chip Hamming distance of identification keys should be near 32
+  // of 64 bits (ideal 50%).
+  double total = 0.0;
+  const int pairs = 40;
+  for (int i = 0; i < pairs; ++i) {
+    ArbiterPuf a(Rng(static_cast<std::uint64_t>(1000 + 2 * i)));
+    ArbiterPuf b(Rng(static_cast<std::uint64_t>(1001 + 2 * i)));
+    total += a.identification_key(0).hamming_distance(
+        b.identification_key(0));
+  }
+  const double mean = total / pairs;
+  EXPECT_GT(mean, 24.0);
+  EXPECT_LT(mean, 40.0);
+}
+
+TEST(Puf, ResponseBiasIsBalanced) {
+  // Across random challenges a healthy arbiter PUF answers ~50/50.
+  ArbiterPuf puf(Rng(321));
+  Rng chal(9);
+  int ones = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (puf.response_voted(chal.next_u64(), 5)) ++ones;
+  }
+  const double rate = static_cast<double>(ones) / n;
+  EXPECT_GT(rate, 0.40);
+  EXPECT_LT(rate, 0.60);
+}
+
+TEST(Puf, NoisyResponseFlipsNearThreshold) {
+  // With a huge noise sigma single evaluations of a near-zero-delay
+  // challenge disagree sometimes — the reason voting exists.
+  ArbiterPuf noisy(Rng(100), 5.0);
+  Rng chal(11);
+  // Find a challenge with small |delay|.
+  std::uint64_t c = 0;
+  double best = 1e9;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t cand = chal.next_u64();
+    const double d = std::abs(noisy.delay_difference(cand));
+    if (d < best) {
+      best = d;
+      c = cand;
+    }
+  }
+  int ones = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (noisy.response(c)) ++ones;
+  }
+  EXPECT_GT(ones, 5);
+  EXPECT_LT(ones, 195);
+}
+
+TEST(Puf, SingleChallengeBitFlipChangesManyFeatureSigns) {
+  // Flipping a low-index challenge bit flips the parity features below it;
+  // the delay difference must change.
+  ArbiterPuf puf(Rng(100));
+  const std::uint64_t c = 0x123456789ABCDEFull;
+  EXPECT_NE(puf.delay_difference(c), puf.delay_difference(c ^ 1ull));
+}
+
+}  // namespace

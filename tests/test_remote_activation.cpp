@@ -1,0 +1,133 @@
+// Unit tests for the EPIC-style remote activation scheme (Sec. IV.B.4).
+#include <gtest/gtest.h>
+
+#include "lock/locked_receiver.h"
+#include "lock/remote_activation.h"
+#include "rf/standards.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace analock;
+using namespace analock::lock;
+
+TEST(ModMath, ModPowKnownValues) {
+  EXPECT_EQ(mod_pow(2, 10, 1000), 24u);  // 1024 mod 1000
+  EXPECT_EQ(mod_pow(3, 0, 7), 1u);
+  EXPECT_EQ(mod_pow(7, 13, 11), mod_pow(7, 13 % 10, 11));  // Fermat
+}
+
+TEST(ModMath, ModPowLargeOperands) {
+  // 128-bit intermediates: (2^31)^2 mod (2^62 - 57) must not overflow.
+  const std::uint64_t m = (1ull << 62) - 57;
+  const std::uint64_t r = mod_pow(1ull << 31, 2, m);
+  EXPECT_EQ(r, (1ull << 62) % m);
+}
+
+TEST(Primality, SmallKnownValues) {
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(97));
+  EXPECT_TRUE(is_prime_u64(2147483647));  // 2^31 - 1, Mersenne
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_FALSE(is_prime_u64(561));   // Carmichael
+  EXPECT_FALSE(is_prime_u64(25326001));  // strong pseudoprime to 2,3,5
+}
+
+TEST(Primality, NextPrime) {
+  EXPECT_EQ(next_prime_u64(14), 17u);
+  EXPECT_EQ(next_prime_u64(17), 17u);
+  EXPECT_TRUE(is_prime_u64(next_prime_u64(1ull << 31)));
+}
+
+TEST(Rsa, DeriveIsDeterministic) {
+  const auto a = RsaKeyPair::derive(12345);
+  const auto b = RsaKeyPair::derive(12345);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.d, b.d);
+}
+
+TEST(Rsa, DifferentSeedsDifferentModuli) {
+  EXPECT_NE(RsaKeyPair::derive(1).n, RsaKeyPair::derive(2).n);
+}
+
+TEST(Rsa, EncryptDecryptRoundTrip) {
+  const auto kp = RsaKeyPair::derive(99);
+  for (std::uint64_t m : {0ull, 1ull, 0xDEADBEEFull, 0xFFFFFFFFFFull}) {
+    const std::uint64_t c = mod_pow(m, kp.e, kp.n);
+    EXPECT_EQ(mod_pow(c, kp.d, kp.n), m) << "message " << m;
+  }
+}
+
+TEST(RemoteActivation, WrapInstallLoad) {
+  ArbiterPuf puf(sim::Rng(42));
+  RemoteActivationChip chip(puf, 2);
+  const Key64 config{0x1e2bb271ed7d914bull};
+  const auto wrapped = wrap_key(config, chip.public_key());
+  ASSERT_TRUE(chip.install_wrapped_key(0, wrapped));
+  const auto loaded = chip.load(0);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, config);
+}
+
+TEST(RemoteActivation, CiphertextDiffersFromKey) {
+  ArbiterPuf puf(sim::Rng(42));
+  RemoteActivationChip chip(puf, 1);
+  const Key64 config{0x1234567890ABCDEFull};
+  const auto wrapped = wrap_key(config, chip.public_key());
+  EXPECT_NE(wrapped.c_lo, config.bits() & 0xFFFFFFFFull);
+  EXPECT_NE(wrapped.c_hi, config.bits() >> 32);
+}
+
+TEST(RemoteActivation, WrongChipRejectsCiphertext) {
+  // A ciphertext wrapped for chip A fails the framing check on chip B —
+  // the untrusted facility cannot divert activations to overproduced
+  // dies.
+  ArbiterPuf puf_a(sim::Rng(42));
+  ArbiterPuf puf_b(sim::Rng(43));
+  RemoteActivationChip chip_a(puf_a, 1);
+  RemoteActivationChip chip_b(puf_b, 1);
+  const Key64 config{0xCAFEBABE12345678ull};
+  const auto for_a = wrap_key(config, chip_a.public_key());
+  EXPECT_FALSE(chip_b.install_wrapped_key(0, for_a));
+  EXPECT_FALSE(chip_b.load(0).has_value());
+}
+
+TEST(RemoteActivation, KeyPairStableAcrossPowerOns) {
+  // The pair is re-derived from the PUF; two instances of the same die
+  // expose the same public key.
+  ArbiterPuf puf1(sim::Rng(7));
+  ArbiterPuf puf2(sim::Rng(7));
+  RemoteActivationChip boot1(puf1, 1);
+  RemoteActivationChip boot2(puf2, 1);
+  EXPECT_EQ(boot1.public_key().n, boot2.public_key().n);
+}
+
+TEST(RemoteActivation, CorruptedCiphertextRejected) {
+  ArbiterPuf puf(sim::Rng(42));
+  RemoteActivationChip chip(puf, 1);
+  auto wrapped = wrap_key(Key64{123}, chip.public_key());
+  wrapped.c_lo ^= 1;
+  EXPECT_FALSE(chip.install_wrapped_key(0, wrapped));
+}
+
+TEST(RemoteActivation, PowersOnALockedReceiver) {
+  ArbiterPuf puf(sim::Rng(42));
+  RemoteActivationChip scheme(puf, 1);
+  const Key64 config{0x1e2bb271ed7d914bull};
+  ASSERT_TRUE(
+      scheme.install_wrapped_key(0, wrap_key(config, scheme.public_key())));
+  LockedReceiver rx(rf::standard_max_3ghz(),
+                    sim::ProcessVariation::nominal(), sim::Rng(1));
+  EXPECT_TRUE(rx.power_on(scheme, 0));
+  EXPECT_EQ(*rx.active_key(), config);
+}
+
+TEST(RemoteActivation, ProvisionPathEquivalentToWrapInstall) {
+  ArbiterPuf puf(sim::Rng(42));
+  RemoteActivationChip chip(puf, 1);
+  const Key64 config{0xABCDEF0123456789ull};
+  chip.provision(0, config);
+  EXPECT_EQ(*chip.load(0), config);
+}
+
+}  // namespace

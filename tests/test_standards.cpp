@@ -1,0 +1,70 @@
+// Unit tests for the multi-standard descriptors.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "rf/standards.h"
+
+namespace {
+
+using namespace analock::rf;
+
+TEST(Standards, AllWithinPaperTuningRange) {
+  for (const Standard& s : all_standards()) {
+    EXPECT_GE(s.f0_hz, 1.5e9) << s.name;
+    EXPECT_LE(s.f0_hz, 3.0e9) << s.name;
+  }
+}
+
+TEST(Standards, SamplingIsFourTimesCarrier) {
+  for (const Standard& s : all_standards()) {
+    EXPECT_DOUBLE_EQ(s.fs_hz(), 4.0 * s.f0_hz) << s.name;
+  }
+}
+
+TEST(Standards, PaperEvaluationModeIsThreeGhz) {
+  EXPECT_DOUBLE_EQ(standard_max_3ghz().f0_hz, 3.0e9);
+  EXPECT_DOUBLE_EQ(standard_max_3ghz().osr, 64.0);
+}
+
+TEST(Standards, NamedModesExist) {
+  EXPECT_DOUBLE_EQ(standard_bluetooth().f0_hz, 2.44e9);
+  EXPECT_DOUBLE_EQ(standard_zigbee().f0_hz, 2.405e9);
+  EXPECT_DOUBLE_EQ(standard_wifi_80211b().f0_hz, 2.437e9);
+  EXPECT_DOUBLE_EQ(standard_low_1p5ghz().f0_hz, 1.5e9);
+  EXPECT_NEAR(standard_gps_l1().f0_hz, 1.57542e9, 1.0);
+}
+
+TEST(Standards, DigitalModesAreDistinctAndThreeBit) {
+  std::set<std::uint32_t> modes;
+  for (const Standard& s : all_standards()) {
+    EXPECT_LT(s.digital_mode, 8u) << s.name;
+    modes.insert(s.digital_mode);
+  }
+  EXPECT_EQ(modes.size(), all_standards().size());
+}
+
+TEST(Standards, FindByName) {
+  const Standard* s = find_standard("bluetooth");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name, "bluetooth");
+  EXPECT_EQ(find_standard("fm-radio"), nullptr);
+}
+
+TEST(Standards, SpecsMatchPaperThresholds) {
+  for (const Standard& s : all_standards()) {
+    EXPECT_DOUBLE_EQ(s.spec.min_snr_db, 40.0) << s.name;
+    EXPECT_DOUBLE_EQ(s.spec.ref_input_dbm, -25.0) << s.name;
+  }
+}
+
+TEST(Standards, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const Standard& s : all_standards()) {
+    names.insert(std::string(s.name));
+  }
+  EXPECT_EQ(names.size(), all_standards().size());
+}
+
+}  // namespace

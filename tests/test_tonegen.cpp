@@ -1,0 +1,90 @@
+// Unit tests for the stimulus generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/spectrum.h"
+#include "dsp/tonegen.h"
+#include "sim/units.h"
+
+namespace {
+
+using namespace analock::dsp;
+
+TEST(ToneGenerator, AmplitudeMatchesDbm) {
+  const double fs = 1.0e6;
+  auto gen = single_tone_dbm(1000.0 * fs / 8192.0, -25.0, fs);
+  const auto x = gen.generate(8192);
+  double peak = 0.0;
+  for (const double v : x) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, analock::sim::dbm_to_peak_volts(-25.0), 1e-4);
+}
+
+TEST(ToneGenerator, FrequencyIsCorrect) {
+  const double fs = 1.0e6;
+  const double f = 1234.0 * fs / 8192.0;
+  auto gen = single_tone_dbm(f, 0.0, fs);
+  const auto x = gen.generate(8192);
+  const Periodogram p(x, fs);
+  const auto tone = p.tone_power(f);
+  EXPECT_EQ(tone.peak_bin, p.bin_of(f));
+}
+
+TEST(ToneGenerator, PowerParsevalCheck) {
+  const double fs = 1.0e6;
+  auto gen = single_tone_dbm(1000.0 * fs / 8192.0, -10.0, fs);
+  const auto x = gen.generate(8192);
+  const Periodogram p(x, fs);
+  const auto tone = p.tone_power(1000.0 * fs / 8192.0);
+  const double expected =
+      std::pow(analock::sim::dbm_to_peak_volts(-10.0), 2.0) / 2.0;
+  EXPECT_NEAR(tone.power, expected, 0.02 * expected);
+}
+
+TEST(ToneGenerator, ResetReproduces) {
+  auto gen = single_tone_dbm(123456.0, -20.0, 1.0e7);
+  const auto a = gen.generate(64);
+  gen.reset();
+  const auto b = gen.generate(64);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(ToneGenerator, ContinuousPhaseAcrossBlocks) {
+  auto gen = single_tone_dbm(100.0, -20.0, 10000.0);
+  auto whole = single_tone_dbm(100.0, -20.0, 10000.0).generate(128);
+  const auto first = gen.generate(64);
+  const auto second = gen.generate(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(first[i], whole[i]);
+    EXPECT_DOUBLE_EQ(second[i], whole[64 + i]);
+  }
+}
+
+TEST(TwoTone, BothTonesPresent) {
+  const double fs = 1.0e6;
+  const double center = 2000.0 * fs / 16384.0;
+  const double spacing = 200.0 * fs / 16384.0;
+  auto gen = two_tone_dbm(center, spacing, -20.0, fs);
+  const auto x = gen.generate(16384);
+  const Periodogram p(x, fs);
+  const double each =
+      std::pow(analock::sim::dbm_to_peak_volts(-20.0), 2.0) / 2.0;
+  EXPECT_NEAR(p.tone_power(center - spacing / 2.0).power, each, 0.05 * each);
+  EXPECT_NEAR(p.tone_power(center + spacing / 2.0).power, each, 0.05 * each);
+}
+
+TEST(TwoTone, PaperSpacingTenMegahertz) {
+  auto gen = two_tone_dbm(3.0e9, 10.0e6, -25.0, 12.0e9);
+  ASSERT_EQ(gen.tones().size(), 2u);
+  EXPECT_NEAR(gen.tones()[1].freq_hz - gen.tones()[0].freq_hz, 10.0e6, 1.0);
+}
+
+TEST(ToneGenerator, MultiToneSumsLinearly) {
+  ToneGenerator gen({Tone{100.0, 1.0, 0.0}, Tone{100.0, 2.0, 0.0}}, 10000.0);
+  ToneGenerator ref({Tone{100.0, 3.0, 0.0}}, 10000.0);
+  const auto a = gen.generate(32);
+  const auto b = ref.generate(32);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Unit tests for dB / dBm / voltage conversions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/units.h"
+
+namespace {
+
+using namespace analock::sim;
+
+TEST(Units, DbRoundTrip) {
+  for (double db : {-40.0, -3.0, 0.0, 3.0, 10.0, 60.0}) {
+    EXPECT_NEAR(to_db(from_db(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, Db20RoundTrip) {
+  for (double db : {-40.0, 0.0, 6.0, 20.0}) {
+    EXPECT_NEAR(to_db20(from_db20(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, KnownDbValues) {
+  EXPECT_NEAR(to_db(2.0), 3.0103, 1e-4);
+  EXPECT_NEAR(to_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(from_db20(20.0), 10.0, 1e-12);
+  EXPECT_NEAR(from_db20(6.0206), 2.0, 1e-4);
+}
+
+TEST(Units, DbmToWatts) {
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(-30.0), 1e-6, 1e-18);
+}
+
+TEST(Units, WattsToDbmRoundTrip) {
+  for (double dbm : {-85.0, -25.0, 0.0, 10.0}) {
+    EXPECT_NEAR(watts_to_dbm(dbm_to_watts(dbm)), dbm, 1e-10);
+  }
+}
+
+TEST(Units, DbmVoltsKnownPoint) {
+  // 0 dBm into 50 ohms: Vrms = 223.6 mV, Vpeak = 316.2 mV.
+  EXPECT_NEAR(dbm_to_peak_volts(0.0), 0.31623, 1e-4);
+  // -25 dBm (the paper's reference input): 17.8 mV peak.
+  EXPECT_NEAR(dbm_to_peak_volts(-25.0), 0.017783, 1e-5);
+}
+
+TEST(Units, PeakVoltsRoundTrip) {
+  for (double dbm : {-85.0, -45.0, -25.0, 0.0}) {
+    EXPECT_NEAR(peak_volts_to_dbm(dbm_to_peak_volts(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, ThermalNoiseKnownValue) {
+  // kT at 290 K is -174 dBm/Hz; over 1 Hz into 50 ohm the RMS voltage is
+  // sqrt(kTB * R) ~ 0.45 nV.
+  const double v = thermal_noise_rms_volts(1.0, 0.0);
+  EXPECT_NEAR(v, std::sqrt(kBoltzmann * kT0Kelvin * 50.0), 1e-15);
+}
+
+TEST(Units, ThermalNoiseScalesWithBandwidthAndNf) {
+  const double v1 = thermal_noise_rms_volts(1e6, 0.0);
+  const double v2 = thermal_noise_rms_volts(4e6, 0.0);
+  EXPECT_NEAR(v2 / v1, 2.0, 1e-9);  // sqrt(4x bandwidth)
+  const double v3 = thermal_noise_rms_volts(1e6, 3.0103);
+  EXPECT_NEAR(v3 / v1, std::sqrt(2.0), 1e-4);  // 3 dB NF doubles power
+}
+
+TEST(Units, MonotoneDbm) {
+  EXPECT_LT(dbm_to_peak_volts(-85.0), dbm_to_peak_volts(-45.0));
+  EXPECT_LT(dbm_to_peak_volts(-45.0), dbm_to_peak_volts(0.0));
+}
+
+}  // namespace

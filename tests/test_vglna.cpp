@@ -1,0 +1,133 @@
+// Unit tests for the variable-gain LNA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "rf/vglna.h"
+#include "sim/units.h"
+
+namespace {
+
+using namespace analock;
+using rf::Vglna;
+
+Vglna make_nominal(double fs = 12.0e9) {
+  return Vglna(sim::ProcessVariation::nominal(), sim::Rng(7), fs);
+}
+
+/// Measured small-signal gain via a sinusoidal probe (amplitude well below
+/// compression), correlating against the probe to reject noise.
+double measured_gain(Vglna& lna, double amp = 1e-3) {
+  const std::size_t n = 4096;
+  const double f_rel = 0.25;
+  double corr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        amp * std::sin(2.0 * std::numbers::pi * f_rel * static_cast<double>(i));
+    corr += lna.process(x) *
+            std::sin(2.0 * std::numbers::pi * f_rel * static_cast<double>(i));
+  }
+  return corr / (static_cast<double>(n) / 2.0) / amp;
+}
+
+TEST(Vglna, SixteenGainLevelsMonotone) {
+  auto lna = make_nominal();
+  double prev = -1e9;
+  for (std::uint32_t code = 0; code < Vglna::kNumGainLevels; ++code) {
+    lna.set_gain_code(code);
+    EXPECT_GT(lna.gain_db(), prev) << "code " << code;
+    prev = lna.gain_db();
+  }
+}
+
+TEST(Vglna, GainTableSpansPaperRange) {
+  auto lna = make_nominal();
+  lna.set_gain_code(0);
+  EXPECT_NEAR(lna.gain_db(), -9.0, 0.01);
+  lna.set_gain_code(15);
+  EXPECT_NEAR(lna.gain_db(), 36.0, 0.01);
+}
+
+class VglnaGainCodeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(VglnaGainCodeTest, MeasuredGainMatchesTable) {
+  auto lna = make_nominal();
+  lna.set_gain_code(GetParam());
+  const double expected = sim::from_db20(lna.gain_db());
+  const double g = measured_gain(lna);
+  EXPECT_NEAR(g / expected, 1.0, 0.05) << "code " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, VglnaGainCodeTest,
+                         ::testing::Values(0u, 3u, 6u, 9u, 12u, 15u));
+
+TEST(Vglna, CodeWrapsAtFourBits) {
+  auto lna = make_nominal();
+  lna.set_gain_code(16);  // wraps to 0
+  EXPECT_EQ(lna.gain_code(), 0u);
+}
+
+TEST(Vglna, NoiseFigureImprovesWithGain) {
+  auto lna = make_nominal();
+  lna.set_gain_code(15);
+  const double nf_high = lna.noise_figure_db();
+  lna.set_gain_code(0);
+  const double nf_low = lna.noise_figure_db();
+  EXPECT_LT(nf_high, nf_low);
+  EXPECT_GE(nf_high, 1.0);
+}
+
+TEST(Vglna, Iip3DegradesWithGain) {
+  auto lna = make_nominal();
+  lna.set_gain_code(2);
+  const double iip3_low_gain = lna.iip3_dbm();
+  lna.set_gain_code(14);
+  const double iip3_high_gain = lna.iip3_dbm();
+  EXPECT_GT(iip3_low_gain, iip3_high_gain);
+}
+
+TEST(Vglna, OutputClipsAtRail) {
+  auto lna = make_nominal();
+  lna.set_gain_code(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(std::abs(lna.process(0.5)), Vglna::kRailVolts + 1e-9);
+  }
+}
+
+TEST(Vglna, CompressionAtLargeInput) {
+  auto lna = make_nominal();
+  lna.set_gain_code(9);
+  const double g_small = measured_gain(lna, 1e-3);
+  const double g_large = measured_gain(lna, 0.3);
+  EXPECT_LT(g_large, 0.9 * g_small);
+}
+
+TEST(Vglna, ProcessVariationShiftsGain) {
+  sim::ProcessVariation pv;
+  pv.vglna_gain_db_err = 0.8;
+  Vglna lna(pv, sim::Rng(7), 12.0e9);
+  lna.set_gain_code(8);
+  EXPECT_NEAR(lna.gain_db(), -9.0 + 24.0 + 0.8, 1e-9);
+}
+
+TEST(Vglna, NoiseFloorPresentWithZeroInput) {
+  auto lna = make_nominal();
+  lna.set_gain_code(15);
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double y = lna.process(0.0);
+    sum_sq += y * y;
+  }
+  const double rms = std::sqrt(sum_sq / n);
+  // Input-referred thermal noise times the gain, within a factor of 2.
+  const double expected =
+      sim::thermal_noise_rms_volts(6.0e9, lna.noise_figure_db()) *
+      sim::from_db20(lna.gain_db());
+  EXPECT_GT(rms, expected * 0.5);
+  EXPECT_LT(rms, expected * 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Unit tests for the analysis windows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/window.h"
+
+namespace {
+
+using namespace analock::dsp;
+
+class WindowParamTest : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowParamTest, SamplesAreFiniteAndBounded) {
+  const auto w = make_window(GetParam(), 256);
+  ASSERT_EQ(w.size(), 256u);
+  for (const double v : w) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::abs(v), 1.2);
+  }
+}
+
+TEST_P(WindowParamTest, CoherentGainIsPositiveAndAtMostOne) {
+  const auto w = make_window(GetParam(), 1024);
+  const double cg = coherent_gain(w);
+  EXPECT_GT(cg, 0.0);
+  EXPECT_LE(cg, 1.0 + 1e-12);
+}
+
+TEST_P(WindowParamTest, EnbwAtLeastRectangular) {
+  const auto w = make_window(GetParam(), 1024);
+  EXPECT_GE(enbw_bins(w), 1.0 - 1e-12);
+}
+
+TEST_P(WindowParamTest, NameIsNonEmpty) {
+  EXPECT_FALSE(window_name(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowParamTest,
+                         ::testing::Values(WindowKind::kRectangular,
+                                           WindowKind::kHann,
+                                           WindowKind::kHamming,
+                                           WindowKind::kBlackman,
+                                           WindowKind::kBlackmanHarris,
+                                           WindowKind::kFlatTop));
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 16);
+  for (const double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(coherent_gain(w), 1.0);
+  EXPECT_DOUBLE_EQ(enbw_bins(w), 1.0);
+}
+
+TEST(Window, HannKnownProperties) {
+  const auto w = make_window(WindowKind::kHann, 4096);
+  EXPECT_NEAR(coherent_gain(w), 0.5, 1e-3);
+  EXPECT_NEAR(enbw_bins(w), 1.5, 1e-3);
+  // Periodic Hann starts at zero.
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+}
+
+TEST(Window, HammingDoesNotReachZero) {
+  const auto w = make_window(WindowKind::kHamming, 512);
+  for (const double v : w) EXPECT_GT(v, 0.05);
+}
+
+TEST(Window, BlackmanHarrisEnbw) {
+  const auto w = make_window(WindowKind::kBlackmanHarris, 4096);
+  EXPECT_NEAR(enbw_bins(w), 2.0, 0.05);
+}
+
+TEST(Window, MainLobeWidthsOrdered) {
+  EXPECT_LE(main_lobe_half_width(WindowKind::kRectangular),
+            main_lobe_half_width(WindowKind::kHann));
+  EXPECT_LE(main_lobe_half_width(WindowKind::kHann),
+            main_lobe_half_width(WindowKind::kBlackmanHarris));
+}
+
+TEST(Window, ApplyWindowMultiplies) {
+  const auto w = make_window(WindowKind::kHann, 8);
+  std::vector<double> x(8, 2.0);
+  apply_window(x, w);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], 2.0 * w[i], 1e-12);
+}
+
+}  // namespace
