@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subfields.dir/bench_ablation_subfields.cpp.o"
+  "CMakeFiles/bench_ablation_subfields.dir/bench_ablation_subfields.cpp.o.d"
+  "bench_ablation_subfields"
+  "bench_ablation_subfields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subfields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_bruteforce.dir/bench_attack_bruteforce.cpp.o"
+  "CMakeFiles/bench_attack_bruteforce.dir/bench_attack_bruteforce.cpp.o.d"
+  "bench_attack_bruteforce"
+  "bench_attack_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_multiobjective.dir/bench_attack_multiobjective.cpp.o"
+  "CMakeFiles/bench_attack_multiobjective.dir/bench_attack_multiobjective.cpp.o.d"
+  "bench_attack_multiobjective"
+  "bench_attack_multiobjective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_multiobjective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

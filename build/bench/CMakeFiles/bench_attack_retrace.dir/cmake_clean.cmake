@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_retrace.dir/bench_attack_retrace.cpp.o"
+  "CMakeFiles/bench_attack_retrace.dir/bench_attack_retrace.cpp.o.d"
+  "bench_attack_retrace"
+  "bench_attack_retrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_retrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

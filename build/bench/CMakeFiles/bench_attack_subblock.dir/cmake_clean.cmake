@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_subblock.dir/bench_attack_subblock.cpp.o"
+  "CMakeFiles/bench_attack_subblock.dir/bench_attack_subblock.cpp.o.d"
+  "bench_attack_subblock"
+  "bench_attack_subblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_subblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

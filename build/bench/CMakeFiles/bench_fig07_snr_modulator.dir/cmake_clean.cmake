@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_snr_modulator.dir/bench_fig07_snr_modulator.cpp.o"
+  "CMakeFiles/bench_fig07_snr_modulator.dir/bench_fig07_snr_modulator.cpp.o.d"
+  "bench_fig07_snr_modulator"
+  "bench_fig07_snr_modulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_snr_modulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

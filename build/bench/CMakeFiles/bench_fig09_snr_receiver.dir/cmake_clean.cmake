@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_snr_receiver.dir/bench_fig09_snr_receiver.cpp.o"
+  "CMakeFiles/bench_fig09_snr_receiver.dir/bench_fig09_snr_receiver.cpp.o.d"
+  "bench_fig09_snr_receiver"
+  "bench_fig09_snr_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_snr_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

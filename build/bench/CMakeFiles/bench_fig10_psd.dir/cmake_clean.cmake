@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_psd.dir/bench_fig10_psd.cpp.o"
+  "CMakeFiles/bench_fig10_psd.dir/bench_fig10_psd.cpp.o.d"
+  "bench_fig10_psd"
+  "bench_fig10_psd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_psd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

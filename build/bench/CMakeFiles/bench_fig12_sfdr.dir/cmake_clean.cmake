@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sfdr.dir/bench_fig12_sfdr.cpp.o"
+  "CMakeFiles/bench_fig12_sfdr.dir/bench_fig12_sfdr.cpp.o.d"
+  "bench_fig12_sfdr"
+  "bench_fig12_sfdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sfdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

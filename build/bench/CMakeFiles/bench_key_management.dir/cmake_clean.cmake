@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_key_management.dir/bench_key_management.cpp.o"
+  "CMakeFiles/bench_key_management.dir/bench_key_management.cpp.o.d"
+  "bench_key_management"
+  "bench_key_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_key_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

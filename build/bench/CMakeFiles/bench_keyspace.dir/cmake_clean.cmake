@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keyspace.dir/bench_keyspace.cpp.o"
+  "CMakeFiles/bench_keyspace.dir/bench_keyspace.cpp.o.d"
+  "bench_keyspace"
+  "bench_keyspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keyspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multistandard.dir/bench_multistandard.cpp.o"
+  "CMakeFiles/bench_multistandard.dir/bench_multistandard.cpp.o.d"
+  "bench_multistandard"
+  "bench_multistandard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multistandard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

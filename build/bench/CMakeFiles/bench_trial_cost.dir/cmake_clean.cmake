@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trial_cost.dir/bench_trial_cost.cpp.o"
+  "CMakeFiles/bench_trial_cost.dir/bench_trial_cost.cpp.o.d"
+  "bench_trial_cost"
+  "bench_trial_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trial_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

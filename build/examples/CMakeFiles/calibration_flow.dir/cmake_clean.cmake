@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_flow.dir/calibration_flow.cpp.o"
+  "CMakeFiles/calibration_flow.dir/calibration_flow.cpp.o.d"
+  "calibration_flow"
+  "calibration_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

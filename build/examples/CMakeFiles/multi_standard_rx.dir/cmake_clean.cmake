@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_standard_rx.dir/multi_standard_rx.cpp.o"
+  "CMakeFiles/multi_standard_rx.dir/multi_standard_rx.cpp.o.d"
+  "multi_standard_rx"
+  "multi_standard_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_standard_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

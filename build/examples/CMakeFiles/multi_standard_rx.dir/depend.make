@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_standard_rx.
+# This may be replaced when dependencies are built.

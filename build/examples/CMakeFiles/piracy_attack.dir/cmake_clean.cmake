@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piracy_attack.dir/piracy_attack.cpp.o"
+  "CMakeFiles/piracy_attack.dir/piracy_attack.cpp.o.d"
+  "piracy_attack"
+  "piracy_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piracy_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

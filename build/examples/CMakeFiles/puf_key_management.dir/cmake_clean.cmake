@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puf_key_management.dir/puf_key_management.cpp.o"
+  "CMakeFiles/puf_key_management.dir/puf_key_management.cpp.o.d"
+  "puf_key_management"
+  "puf_key_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puf_key_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

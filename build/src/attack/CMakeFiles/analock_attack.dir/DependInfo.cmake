@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/brute_force.cpp" "src/attack/CMakeFiles/analock_attack.dir/brute_force.cpp.o" "gcc" "src/attack/CMakeFiles/analock_attack.dir/brute_force.cpp.o.d"
+  "/root/repo/src/attack/cost_model.cpp" "src/attack/CMakeFiles/analock_attack.dir/cost_model.cpp.o" "gcc" "src/attack/CMakeFiles/analock_attack.dir/cost_model.cpp.o.d"
+  "/root/repo/src/attack/multi_objective.cpp" "src/attack/CMakeFiles/analock_attack.dir/multi_objective.cpp.o" "gcc" "src/attack/CMakeFiles/analock_attack.dir/multi_objective.cpp.o.d"
+  "/root/repo/src/attack/retrace.cpp" "src/attack/CMakeFiles/analock_attack.dir/retrace.cpp.o" "gcc" "src/attack/CMakeFiles/analock_attack.dir/retrace.cpp.o.d"
+  "/root/repo/src/attack/subblock.cpp" "src/attack/CMakeFiles/analock_attack.dir/subblock.cpp.o" "gcc" "src/attack/CMakeFiles/analock_attack.dir/subblock.cpp.o.d"
+  "/root/repo/src/attack/warm_start.cpp" "src/attack/CMakeFiles/analock_attack.dir/warm_start.cpp.o" "gcc" "src/attack/CMakeFiles/analock_attack.dir/warm_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lock/CMakeFiles/analock_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/analock_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/analock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/analock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

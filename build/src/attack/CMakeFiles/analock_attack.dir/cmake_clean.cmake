@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analock_attack.dir/brute_force.cpp.o"
+  "CMakeFiles/analock_attack.dir/brute_force.cpp.o.d"
+  "CMakeFiles/analock_attack.dir/cost_model.cpp.o"
+  "CMakeFiles/analock_attack.dir/cost_model.cpp.o.d"
+  "CMakeFiles/analock_attack.dir/multi_objective.cpp.o"
+  "CMakeFiles/analock_attack.dir/multi_objective.cpp.o.d"
+  "CMakeFiles/analock_attack.dir/retrace.cpp.o"
+  "CMakeFiles/analock_attack.dir/retrace.cpp.o.d"
+  "CMakeFiles/analock_attack.dir/subblock.cpp.o"
+  "CMakeFiles/analock_attack.dir/subblock.cpp.o.d"
+  "CMakeFiles/analock_attack.dir/warm_start.cpp.o"
+  "CMakeFiles/analock_attack.dir/warm_start.cpp.o.d"
+  "libanalock_attack.a"
+  "libanalock_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analock_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calib/bias_optimizer.cpp" "src/calib/CMakeFiles/analock_calib.dir/bias_optimizer.cpp.o" "gcc" "src/calib/CMakeFiles/analock_calib.dir/bias_optimizer.cpp.o.d"
+  "/root/repo/src/calib/calibrator.cpp" "src/calib/CMakeFiles/analock_calib.dir/calibrator.cpp.o" "gcc" "src/calib/CMakeFiles/analock_calib.dir/calibrator.cpp.o.d"
+  "/root/repo/src/calib/oscillation_tuner.cpp" "src/calib/CMakeFiles/analock_calib.dir/oscillation_tuner.cpp.o" "gcc" "src/calib/CMakeFiles/analock_calib.dir/oscillation_tuner.cpp.o.d"
+  "/root/repo/src/calib/q_tuner.cpp" "src/calib/CMakeFiles/analock_calib.dir/q_tuner.cpp.o" "gcc" "src/calib/CMakeFiles/analock_calib.dir/q_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lock/CMakeFiles/analock_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/analock_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/analock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/analock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analock_calib.dir/bias_optimizer.cpp.o"
+  "CMakeFiles/analock_calib.dir/bias_optimizer.cpp.o.d"
+  "CMakeFiles/analock_calib.dir/calibrator.cpp.o"
+  "CMakeFiles/analock_calib.dir/calibrator.cpp.o.d"
+  "CMakeFiles/analock_calib.dir/oscillation_tuner.cpp.o"
+  "CMakeFiles/analock_calib.dir/oscillation_tuner.cpp.o.d"
+  "CMakeFiles/analock_calib.dir/q_tuner.cpp.o"
+  "CMakeFiles/analock_calib.dir/q_tuner.cpp.o.d"
+  "libanalock_calib.a"
+  "libanalock_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analock_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analock_dsp.dir/fft.cpp.o"
+  "CMakeFiles/analock_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/analock_dsp.dir/fir.cpp.o"
+  "CMakeFiles/analock_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/analock_dsp.dir/iir.cpp.o"
+  "CMakeFiles/analock_dsp.dir/iir.cpp.o.d"
+  "CMakeFiles/analock_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/analock_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/analock_dsp.dir/tonegen.cpp.o"
+  "CMakeFiles/analock_dsp.dir/tonegen.cpp.o.d"
+  "CMakeFiles/analock_dsp.dir/window.cpp.o"
+  "CMakeFiles/analock_dsp.dir/window.cpp.o.d"
+  "libanalock_dsp.a"
+  "libanalock_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analock_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

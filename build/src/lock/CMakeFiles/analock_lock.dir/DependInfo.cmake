@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/evaluator.cpp" "src/lock/CMakeFiles/analock_lock.dir/evaluator.cpp.o" "gcc" "src/lock/CMakeFiles/analock_lock.dir/evaluator.cpp.o.d"
+  "/root/repo/src/lock/key64.cpp" "src/lock/CMakeFiles/analock_lock.dir/key64.cpp.o" "gcc" "src/lock/CMakeFiles/analock_lock.dir/key64.cpp.o.d"
+  "/root/repo/src/lock/key_layout.cpp" "src/lock/CMakeFiles/analock_lock.dir/key_layout.cpp.o" "gcc" "src/lock/CMakeFiles/analock_lock.dir/key_layout.cpp.o.d"
+  "/root/repo/src/lock/key_manager.cpp" "src/lock/CMakeFiles/analock_lock.dir/key_manager.cpp.o" "gcc" "src/lock/CMakeFiles/analock_lock.dir/key_manager.cpp.o.d"
+  "/root/repo/src/lock/locked_receiver.cpp" "src/lock/CMakeFiles/analock_lock.dir/locked_receiver.cpp.o" "gcc" "src/lock/CMakeFiles/analock_lock.dir/locked_receiver.cpp.o.d"
+  "/root/repo/src/lock/puf.cpp" "src/lock/CMakeFiles/analock_lock.dir/puf.cpp.o" "gcc" "src/lock/CMakeFiles/analock_lock.dir/puf.cpp.o.d"
+  "/root/repo/src/lock/remote_activation.cpp" "src/lock/CMakeFiles/analock_lock.dir/remote_activation.cpp.o" "gcc" "src/lock/CMakeFiles/analock_lock.dir/remote_activation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/analock_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/analock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/analock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analock_lock.dir/evaluator.cpp.o"
+  "CMakeFiles/analock_lock.dir/evaluator.cpp.o.d"
+  "CMakeFiles/analock_lock.dir/key64.cpp.o"
+  "CMakeFiles/analock_lock.dir/key64.cpp.o.d"
+  "CMakeFiles/analock_lock.dir/key_layout.cpp.o"
+  "CMakeFiles/analock_lock.dir/key_layout.cpp.o.d"
+  "CMakeFiles/analock_lock.dir/key_manager.cpp.o"
+  "CMakeFiles/analock_lock.dir/key_manager.cpp.o.d"
+  "CMakeFiles/analock_lock.dir/locked_receiver.cpp.o"
+  "CMakeFiles/analock_lock.dir/locked_receiver.cpp.o.d"
+  "CMakeFiles/analock_lock.dir/puf.cpp.o"
+  "CMakeFiles/analock_lock.dir/puf.cpp.o.d"
+  "CMakeFiles/analock_lock.dir/remote_activation.cpp.o"
+  "CMakeFiles/analock_lock.dir/remote_activation.cpp.o.d"
+  "libanalock_lock.a"
+  "libanalock_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analock_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

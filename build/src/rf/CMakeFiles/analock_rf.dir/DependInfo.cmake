@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/bp_sigma_delta.cpp" "src/rf/CMakeFiles/analock_rf.dir/bp_sigma_delta.cpp.o" "gcc" "src/rf/CMakeFiles/analock_rf.dir/bp_sigma_delta.cpp.o.d"
+  "/root/repo/src/rf/digital_backend.cpp" "src/rf/CMakeFiles/analock_rf.dir/digital_backend.cpp.o" "gcc" "src/rf/CMakeFiles/analock_rf.dir/digital_backend.cpp.o.d"
+  "/root/repo/src/rf/lc_tank.cpp" "src/rf/CMakeFiles/analock_rf.dir/lc_tank.cpp.o" "gcc" "src/rf/CMakeFiles/analock_rf.dir/lc_tank.cpp.o.d"
+  "/root/repo/src/rf/receiver.cpp" "src/rf/CMakeFiles/analock_rf.dir/receiver.cpp.o" "gcc" "src/rf/CMakeFiles/analock_rf.dir/receiver.cpp.o.d"
+  "/root/repo/src/rf/sd_blocks.cpp" "src/rf/CMakeFiles/analock_rf.dir/sd_blocks.cpp.o" "gcc" "src/rf/CMakeFiles/analock_rf.dir/sd_blocks.cpp.o.d"
+  "/root/repo/src/rf/standards.cpp" "src/rf/CMakeFiles/analock_rf.dir/standards.cpp.o" "gcc" "src/rf/CMakeFiles/analock_rf.dir/standards.cpp.o.d"
+  "/root/repo/src/rf/vglna.cpp" "src/rf/CMakeFiles/analock_rf.dir/vglna.cpp.o" "gcc" "src/rf/CMakeFiles/analock_rf.dir/vglna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/analock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/analock_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analock_rf.dir/bp_sigma_delta.cpp.o"
+  "CMakeFiles/analock_rf.dir/bp_sigma_delta.cpp.o.d"
+  "CMakeFiles/analock_rf.dir/digital_backend.cpp.o"
+  "CMakeFiles/analock_rf.dir/digital_backend.cpp.o.d"
+  "CMakeFiles/analock_rf.dir/lc_tank.cpp.o"
+  "CMakeFiles/analock_rf.dir/lc_tank.cpp.o.d"
+  "CMakeFiles/analock_rf.dir/receiver.cpp.o"
+  "CMakeFiles/analock_rf.dir/receiver.cpp.o.d"
+  "CMakeFiles/analock_rf.dir/sd_blocks.cpp.o"
+  "CMakeFiles/analock_rf.dir/sd_blocks.cpp.o.d"
+  "CMakeFiles/analock_rf.dir/standards.cpp.o"
+  "CMakeFiles/analock_rf.dir/standards.cpp.o.d"
+  "CMakeFiles/analock_rf.dir/vglna.cpp.o"
+  "CMakeFiles/analock_rf.dir/vglna.cpp.o.d"
+  "libanalock_rf.a"
+  "libanalock_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analock_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analock_sim.dir/process.cpp.o"
+  "CMakeFiles/analock_sim.dir/process.cpp.o.d"
+  "CMakeFiles/analock_sim.dir/rng.cpp.o"
+  "CMakeFiles/analock_sim.dir/rng.cpp.o.d"
+  "libanalock_sim.a"
+  "libanalock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_calibration.dir/debug_calibration.cpp.o"
+  "CMakeFiles/debug_calibration.dir/debug_calibration.cpp.o.d"
+  "debug_calibration"
+  "debug_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_detune.dir/debug_detune.cpp.o"
+  "CMakeFiles/debug_detune.dir/debug_detune.cpp.o.d"
+  "debug_detune"
+  "debug_detune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_detune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_modulator.dir/debug_modulator.cpp.o"
+  "CMakeFiles/debug_modulator.dir/debug_modulator.cpp.o.d"
+  "debug_modulator"
+  "debug_modulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_modulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

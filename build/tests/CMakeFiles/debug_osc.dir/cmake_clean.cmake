@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_osc.dir/debug_osc.cpp.o"
+  "CMakeFiles/debug_osc.dir/debug_osc.cpp.o.d"
+  "debug_osc"
+  "debug_osc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_overload.dir/debug_overload.cpp.o"
+  "CMakeFiles/debug_overload.dir/debug_overload.cpp.o.d"
+  "debug_overload"
+  "debug_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_randomkeys.dir/debug_randomkeys.cpp.o"
+  "CMakeFiles/debug_randomkeys.dir/debug_randomkeys.cpp.o.d"
+  "debug_randomkeys"
+  "debug_randomkeys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_randomkeys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_warmstart.dir/debug_warmstart.cpp.o"
+  "CMakeFiles/debug_warmstart.dir/debug_warmstart.cpp.o.d"
+  "debug_warmstart"
+  "debug_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

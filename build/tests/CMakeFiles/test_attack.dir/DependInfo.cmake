@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_brute_force.cpp" "tests/CMakeFiles/test_attack.dir/test_brute_force.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/test_brute_force.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/test_attack.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_multi_objective.cpp" "tests/CMakeFiles/test_attack.dir/test_multi_objective.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/test_multi_objective.cpp.o.d"
+  "/root/repo/tests/test_retrace.cpp" "tests/CMakeFiles/test_attack.dir/test_retrace.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/test_retrace.cpp.o.d"
+  "/root/repo/tests/test_subblock.cpp" "tests/CMakeFiles/test_attack.dir/test_subblock.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/test_subblock.cpp.o.d"
+  "/root/repo/tests/test_warm_start.cpp" "tests/CMakeFiles/test_attack.dir/test_warm_start.cpp.o" "gcc" "tests/CMakeFiles/test_attack.dir/test_warm_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/analock_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/analock_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/analock_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/analock_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/analock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/analock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

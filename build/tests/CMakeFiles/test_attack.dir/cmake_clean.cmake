@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/test_brute_force.cpp.o"
+  "CMakeFiles/test_attack.dir/test_brute_force.cpp.o.d"
+  "CMakeFiles/test_attack.dir/test_cost_model.cpp.o"
+  "CMakeFiles/test_attack.dir/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_attack.dir/test_multi_objective.cpp.o"
+  "CMakeFiles/test_attack.dir/test_multi_objective.cpp.o.d"
+  "CMakeFiles/test_attack.dir/test_retrace.cpp.o"
+  "CMakeFiles/test_attack.dir/test_retrace.cpp.o.d"
+  "CMakeFiles/test_attack.dir/test_subblock.cpp.o"
+  "CMakeFiles/test_attack.dir/test_subblock.cpp.o.d"
+  "CMakeFiles/test_attack.dir/test_warm_start.cpp.o"
+  "CMakeFiles/test_attack.dir/test_warm_start.cpp.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calib.dir/test_bias_optimizer.cpp.o"
+  "CMakeFiles/test_calib.dir/test_bias_optimizer.cpp.o.d"
+  "CMakeFiles/test_calib.dir/test_calibrator.cpp.o"
+  "CMakeFiles/test_calib.dir/test_calibrator.cpp.o.d"
+  "CMakeFiles/test_calib.dir/test_oscillation_tuner.cpp.o"
+  "CMakeFiles/test_calib.dir/test_oscillation_tuner.cpp.o.d"
+  "CMakeFiles/test_calib.dir/test_q_tuner.cpp.o"
+  "CMakeFiles/test_calib.dir/test_q_tuner.cpp.o.d"
+  "test_calib"
+  "test_calib.pdb"
+  "test_calib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

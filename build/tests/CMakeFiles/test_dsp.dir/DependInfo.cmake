@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cic.cpp" "tests/CMakeFiles/test_dsp.dir/test_cic.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_cic.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/test_dsp.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_fir.cpp" "tests/CMakeFiles/test_dsp.dir/test_fir.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_fir.cpp.o.d"
+  "/root/repo/tests/test_iir.cpp" "tests/CMakeFiles/test_dsp.dir/test_iir.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_iir.cpp.o.d"
+  "/root/repo/tests/test_mixer.cpp" "tests/CMakeFiles/test_dsp.dir/test_mixer.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_mixer.cpp.o.d"
+  "/root/repo/tests/test_spectrum.cpp" "tests/CMakeFiles/test_dsp.dir/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_spectrum.cpp.o.d"
+  "/root/repo/tests/test_tonegen.cpp" "tests/CMakeFiles/test_dsp.dir/test_tonegen.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_tonegen.cpp.o.d"
+  "/root/repo/tests/test_window.cpp" "tests/CMakeFiles/test_dsp.dir/test_window.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/analock_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/analock_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/analock_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/analock_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/analock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/analock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

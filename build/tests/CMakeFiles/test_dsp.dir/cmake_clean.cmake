@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/test_cic.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_cic.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_fft.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_fft.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_fir.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_fir.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_iir.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_iir.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_mixer.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_mixer.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_spectrum.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_spectrum.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_tonegen.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_tonegen.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/test_window.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_window.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

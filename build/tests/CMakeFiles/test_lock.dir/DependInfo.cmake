@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/test_lock.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_lock.dir/test_evaluator.cpp.o.d"
+  "/root/repo/tests/test_key64.cpp" "tests/CMakeFiles/test_lock.dir/test_key64.cpp.o" "gcc" "tests/CMakeFiles/test_lock.dir/test_key64.cpp.o.d"
+  "/root/repo/tests/test_key_layout.cpp" "tests/CMakeFiles/test_lock.dir/test_key_layout.cpp.o" "gcc" "tests/CMakeFiles/test_lock.dir/test_key_layout.cpp.o.d"
+  "/root/repo/tests/test_key_manager.cpp" "tests/CMakeFiles/test_lock.dir/test_key_manager.cpp.o" "gcc" "tests/CMakeFiles/test_lock.dir/test_key_manager.cpp.o.d"
+  "/root/repo/tests/test_locked_receiver.cpp" "tests/CMakeFiles/test_lock.dir/test_locked_receiver.cpp.o" "gcc" "tests/CMakeFiles/test_lock.dir/test_locked_receiver.cpp.o.d"
+  "/root/repo/tests/test_puf.cpp" "tests/CMakeFiles/test_lock.dir/test_puf.cpp.o" "gcc" "tests/CMakeFiles/test_lock.dir/test_puf.cpp.o.d"
+  "/root/repo/tests/test_remote_activation.cpp" "tests/CMakeFiles/test_lock.dir/test_remote_activation.cpp.o" "gcc" "tests/CMakeFiles/test_lock.dir/test_remote_activation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/analock_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/analock_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/analock_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/analock_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/analock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/analock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock.dir/test_evaluator.cpp.o"
+  "CMakeFiles/test_lock.dir/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_lock.dir/test_key64.cpp.o"
+  "CMakeFiles/test_lock.dir/test_key64.cpp.o.d"
+  "CMakeFiles/test_lock.dir/test_key_layout.cpp.o"
+  "CMakeFiles/test_lock.dir/test_key_layout.cpp.o.d"
+  "CMakeFiles/test_lock.dir/test_key_manager.cpp.o"
+  "CMakeFiles/test_lock.dir/test_key_manager.cpp.o.d"
+  "CMakeFiles/test_lock.dir/test_locked_receiver.cpp.o"
+  "CMakeFiles/test_lock.dir/test_locked_receiver.cpp.o.d"
+  "CMakeFiles/test_lock.dir/test_puf.cpp.o"
+  "CMakeFiles/test_lock.dir/test_puf.cpp.o.d"
+  "CMakeFiles/test_lock.dir/test_remote_activation.cpp.o"
+  "CMakeFiles/test_lock.dir/test_remote_activation.cpp.o.d"
+  "test_lock"
+  "test_lock.pdb"
+  "test_lock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

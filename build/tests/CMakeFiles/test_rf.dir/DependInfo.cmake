@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bp_sigma_delta.cpp" "tests/CMakeFiles/test_rf.dir/test_bp_sigma_delta.cpp.o" "gcc" "tests/CMakeFiles/test_rf.dir/test_bp_sigma_delta.cpp.o.d"
+  "/root/repo/tests/test_digital_backend.cpp" "tests/CMakeFiles/test_rf.dir/test_digital_backend.cpp.o" "gcc" "tests/CMakeFiles/test_rf.dir/test_digital_backend.cpp.o.d"
+  "/root/repo/tests/test_lc_tank.cpp" "tests/CMakeFiles/test_rf.dir/test_lc_tank.cpp.o" "gcc" "tests/CMakeFiles/test_rf.dir/test_lc_tank.cpp.o.d"
+  "/root/repo/tests/test_receiver.cpp" "tests/CMakeFiles/test_rf.dir/test_receiver.cpp.o" "gcc" "tests/CMakeFiles/test_rf.dir/test_receiver.cpp.o.d"
+  "/root/repo/tests/test_sd_blocks.cpp" "tests/CMakeFiles/test_rf.dir/test_sd_blocks.cpp.o" "gcc" "tests/CMakeFiles/test_rf.dir/test_sd_blocks.cpp.o.d"
+  "/root/repo/tests/test_standards.cpp" "tests/CMakeFiles/test_rf.dir/test_standards.cpp.o" "gcc" "tests/CMakeFiles/test_rf.dir/test_standards.cpp.o.d"
+  "/root/repo/tests/test_vglna.cpp" "tests/CMakeFiles/test_rf.dir/test_vglna.cpp.o" "gcc" "tests/CMakeFiles/test_rf.dir/test_vglna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/analock_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/analock_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/analock_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/analock_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/analock_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/analock_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

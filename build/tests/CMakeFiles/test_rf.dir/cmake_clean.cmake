@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rf.dir/test_bp_sigma_delta.cpp.o"
+  "CMakeFiles/test_rf.dir/test_bp_sigma_delta.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_digital_backend.cpp.o"
+  "CMakeFiles/test_rf.dir/test_digital_backend.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_lc_tank.cpp.o"
+  "CMakeFiles/test_rf.dir/test_lc_tank.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_receiver.cpp.o"
+  "CMakeFiles/test_rf.dir/test_receiver.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_sd_blocks.cpp.o"
+  "CMakeFiles/test_rf.dir/test_sd_blocks.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_standards.cpp.o"
+  "CMakeFiles/test_rf.dir/test_standards.cpp.o.d"
+  "CMakeFiles/test_rf.dir/test_vglna.cpp.o"
+  "CMakeFiles/test_rf.dir/test_vglna.cpp.o.d"
+  "test_rf"
+  "test_rf.pdb"
+  "test_rf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

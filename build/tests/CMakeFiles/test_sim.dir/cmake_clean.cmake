@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_bitfield.cpp.o"
+  "CMakeFiles/test_sim.dir/test_bitfield.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_process.cpp.o"
+  "CMakeFiles/test_sim.dir/test_process.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_rng.cpp.o"
+  "CMakeFiles/test_sim.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_units.cpp.o"
+  "CMakeFiles/test_sim.dir/test_units.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
