@@ -9,6 +9,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_ablation_subfields.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_ablation_subfields");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 using lock::Key64;

@@ -11,6 +11,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_attack_bruteforce.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_attack_bruteforce");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 
@@ -25,7 +30,8 @@ void run_bruteforce() {
   for (const bool forced : {false, true}) {
     attack::BruteForceAttack bf(ev, sim::Rng(4242 + (forced ? 1 : 0)));
     attack::BruteForceOptions options;
-    options.max_trials = 400;
+    // ANALOCK_BENCH_TRIALS turns this into a fast smoke run for CI.
+    options.max_trials = bench::trials_budget(400);
     options.force_mission_mode = forced;
     ev.reset_trials();
     const auto result = bf.run(options);

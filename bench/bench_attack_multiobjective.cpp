@@ -10,6 +10,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_attack_multiobjective.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_attack_multiobjective");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 
@@ -33,14 +38,14 @@ void run_multiobjective() {
   {
     attack::CoordinateDescentAttack cd(ev, sim::Rng(111));
     attack::MultiObjectiveOptions options;
-    options.max_trials = 800;
+    options.max_trials = bench::trials_budget(800);
     options.passes = 2;
     report("coordinate descent, cold start", cd.run(options));
   }
   {
     attack::CoordinateDescentAttack cd(ev, sim::Rng(112));
     attack::MultiObjectiveOptions options;
-    options.max_trials = 2500;
+    options.max_trials = bench::trials_budget(2500);
     options.passes = 3;
     options.force_mission_mode = true;
     report("coordinate descent, known modes", cd.run(options));
@@ -48,20 +53,20 @@ void run_multiobjective() {
   {
     attack::GeneticAttack ga(ev, sim::Rng(113));
     attack::GeneticOptions options;
-    options.max_trials = 1500;
+    options.max_trials = bench::trials_budget(1500);
     report("genetic algorithm, cold start", ga.run(options));
   }
   {
     attack::GeneticAttack ga(ev, sim::Rng(114));
     attack::GeneticOptions options;
-    options.max_trials = 1500;
+    options.max_trials = bench::trials_budget(1500);
     options.force_mission_mode = true;
     report("genetic algorithm, known modes", ga.run(options));
   }
   {
     attack::WarmStartAttack ws(ev, sim::Rng(115));
     attack::WarmStartOptions options;
-    options.max_trials = 1200;
+    options.max_trials = bench::trials_budget(1200);
     const auto r = ws.run(donor.cal.key, options);
     std::printf("  %-34s trials=%5llu success=%-3s start=%6.1f dB "
                 "refined=%6.1f dB rx=%6.1f dB moved %u bits | sim cost "

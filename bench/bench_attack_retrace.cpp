@@ -9,6 +9,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_attack_retrace.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_attack_retrace");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 using attack::CalibrationKnowledge;

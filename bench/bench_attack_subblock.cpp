@@ -8,6 +8,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_attack_subblock.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_attack_subblock");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 

@@ -1,19 +1,86 @@
 // Shared plumbing for the paper-experiment benches: chip fabrication +
-// calibration, deceptive-key construction, and table printing.
+// calibration, deceptive-key construction, observability session
+// management, and table printing.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "calib/calibrator.h"
 #include "lock/evaluator.h"
 #include "lock/key_layout.h"
+#include "obs/obs.h"
 #include "rf/standards.h"
 #include "sim/process.h"
 #include "sim/rng.h"
 
 namespace analock::bench {
+
+/// Enables observability for the lifetime of a bench process and streams
+/// the event record to `<bench_name>.jsonl` in the working directory.
+/// Declare one at file scope in each bench:
+///
+///   const bench::ObsSession kObsSession("bench_attack_bruteforce");
+///
+/// At process exit it appends machine-readable summary events to the
+/// artifact and prints the human run report under the bench's tables.
+/// Set ANALOCK_OBS_JSONL=0 to suppress the artifact (metrics stay on);
+/// set it to a path to redirect it.
+class ObsSession {
+ public:
+  explicit ObsSession(std::string bench_name)
+      : artifact_(std::move(bench_name) + ".jsonl") {
+    obs::Registry& reg = obs::registry();
+    reg.set_enabled(true);
+    if (const char* env = std::getenv("ANALOCK_OBS_JSONL")) {
+      if (std::string_view(env) == "0") {
+        artifact_.clear();
+        return;
+      }
+      if (env[0] != '\0') artifact_ = env;
+    }
+    auto sink = std::make_unique<obs::JsonlSink>(artifact_);
+    if (sink->ok()) {
+      reg.set_sink(std::move(sink));
+    } else {
+      std::fprintf(stderr, "warning: cannot open %s, JSONL sink disabled\n",
+                   artifact_.c_str());
+      artifact_.clear();
+    }
+  }
+
+  ~ObsSession() {
+    obs::Registry& reg = obs::registry();
+    obs::emit_summary_events(reg);
+    obs::print_report(reg);
+    reg.set_sink(nullptr);  // flushes and closes the artifact
+    if (!artifact_.empty()) {
+      std::printf("observability artifact: %s\n", artifact_.c_str());
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string artifact_;
+};
+
+/// Attack-budget override so CI can run a bench as a fast smoke test:
+/// ANALOCK_BENCH_TRIALS replaces the per-attack oracle budget when set.
+inline std::uint64_t trials_budget(std::uint64_t fallback) {
+  if (const char* env = std::getenv("ANALOCK_BENCH_TRIALS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return v;
+  }
+  return fallback;
+}
 
 /// One fabricated + calibrated chip instance.
 struct Chip {

@@ -12,6 +12,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_fig07_snr_modulator.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_fig07_snr_modulator");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 

@@ -8,6 +8,11 @@
 #include <set>
 
 #include "bench_common.h"
+
+namespace {
+// Streams this bench's event record to bench_fig08_transient.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_fig08_transient");
+}  // namespace
 #include "rf/receiver.h"
 
 namespace {

@@ -12,6 +12,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_fig09_snr_receiver.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_fig09_snr_receiver");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 

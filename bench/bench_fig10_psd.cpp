@@ -8,6 +8,11 @@
 #include <vector>
 
 #include "bench_common.h"
+
+namespace {
+// Streams this bench's event record to bench_fig10_psd.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_fig10_psd");
+}  // namespace
 #include "dsp/spectrum.h"
 #include "rf/receiver.h"
 

@@ -5,6 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+
+namespace {
+// Streams this bench's event record to bench_fig11_dynamic_range.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_fig11_dynamic_range");
+}  // namespace
 #include "calib/calibrator.h"
 
 namespace {

@@ -7,6 +7,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_fig12_sfdr.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_fig12_sfdr");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 

@@ -5,6 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+
+namespace {
+// Streams this bench's event record to bench_key_management.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_key_management");
+}  // namespace
 #include "lock/key_manager.h"
 #include "lock/puf.h"
 

@@ -10,6 +10,11 @@
 
 #include "attack/cost_model.h"
 #include "bench_common.h"
+
+namespace {
+// Streams this bench's event record to bench_keyspace.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_keyspace");
+}  // namespace
 #include "rf/lc_tank.h"
 
 namespace {

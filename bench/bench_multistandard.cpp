@@ -10,6 +10,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_multistandard.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_multistandard");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 

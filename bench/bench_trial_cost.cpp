@@ -9,6 +9,11 @@
 #include "bench_common.h"
 
 namespace {
+// Streams this bench's event record to bench_trial_cost.jsonl (see ObsSession).
+const analock::bench::ObsSession kObsSession("bench_trial_cost");
+}  // namespace
+
+namespace {
 
 using namespace analock;
 

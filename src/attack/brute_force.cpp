@@ -1,18 +1,25 @@
 #include "attack/brute_force.h"
 
 #include "lock/key_layout.h"
+#include "obs/trace.h"
 
 namespace analock::attack {
 
 BruteForceResult BruteForceAttack::run(const BruteForceOptions& options) {
+  ANALOCK_SPAN("attack.brute_force");
+  obs::Convergence convergence("brute_force");
   BruteForceResult result;
   result.screen_snr_db.reserve(options.max_trials);
   const double spec_snr = evaluator_->standard().spec.min_snr_db;
+  const auto queries = [&result] {
+    return result.cost.snr_trials + result.cost.sfdr_trials;
+  };
 
   for (std::uint64_t t = 0; t < options.max_trials; ++t) {
     lock::Key64 key = lock::Key64::random(rng_);
     if (options.force_mission_mode) key = lock::force_mission_mode(key);
     ++result.trials;
+    obs::count("attack.brute_force.trials");
 
     const double screen = evaluator_->snr_modulator_db(key);
     ++result.cost.snr_trials;
@@ -20,6 +27,7 @@ BruteForceResult BruteForceAttack::run(const BruteForceOptions& options) {
     if (screen > result.best_screen_snr_db) {
       result.best_screen_snr_db = screen;
       result.best_key = key;
+      convergence.observe(queries(), screen);
     }
     if (screen < options.screen_snr_db) continue;
 
@@ -34,6 +42,10 @@ BruteForceResult BruteForceAttack::run(const BruteForceOptions& options) {
         result.success = true;
         result.best_key = key;
         result.best_receiver_snr_db = rx;
+        obs::event("attack.success", {{"attack", "brute_force"},
+                                      {"query", queries()},
+                                      {"snr_receiver_db", rx},
+                                      {"sfdr_db", sfdr}});
         return result;
       }
     }

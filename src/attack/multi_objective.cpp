@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "lock/key_layout.h"
+#include "obs/trace.h"
 
 namespace analock::attack {
 
@@ -48,6 +49,8 @@ MultiObjectiveResult CoordinateDescentAttack::run(
 
 MultiObjectiveResult CoordinateDescentAttack::run_from(
     lock::Key64 start, const MultiObjectiveOptions& options) {
+  ANALOCK_SPAN("attack.coordinate_descent");
+  obs::Convergence convergence("coordinate_descent");
   MultiObjectiveResult result;
   lock::Key64 key = options.force_mission_mode
                         ? lock::force_mission_mode(start)
@@ -56,7 +59,10 @@ MultiObjectiveResult CoordinateDescentAttack::run_from(
   auto measure = [&](const lock::Key64& k) {
     ++result.trials;
     ++result.cost.snr_trials;
-    return evaluator_->snr_modulator_db(k);
+    obs::count("attack.coordinate_descent.trials");
+    const double snr = evaluator_->snr_modulator_db(k);
+    convergence.observe(result.trials, snr);
+    return snr;
   };
 
   double best = measure(key);
@@ -124,6 +130,8 @@ MultiObjectiveResult CoordinateDescentAttack::run_from(
 }
 
 MultiObjectiveResult GeneticAttack::run(const GeneticOptions& options) {
+  ANALOCK_SPAN("attack.genetic");
+  obs::Convergence convergence("genetic");
   MultiObjectiveResult result;
 
   struct Individual {
@@ -137,7 +145,10 @@ MultiObjectiveResult GeneticAttack::run(const GeneticOptions& options) {
   auto measure = [&](const lock::Key64& k) {
     ++result.trials;
     ++result.cost.snr_trials;
-    return evaluator_->snr_modulator_db(k);
+    obs::count("attack.genetic.trials");
+    const double snr = evaluator_->snr_modulator_db(k);
+    convergence.observe(result.trials, snr);
+    return snr;
   };
 
   std::vector<Individual> pop(options.population);

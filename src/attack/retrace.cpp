@@ -5,6 +5,7 @@
 #include "calib/oscillation_tuner.h"
 #include "calib/q_tuner.h"
 #include "lock/key_layout.h"
+#include "obs/trace.h"
 #include "rf/receiver.h"
 
 namespace analock::attack {
@@ -34,6 +35,7 @@ const char* to_string(CalibrationKnowledge knowledge) {
 }
 
 RetraceResult RetraceAttack::run(CalibrationKnowledge knowledge) {
+  ANALOCK_SPAN("attack.retrace");
   RetraceResult result;
   result.knowledge = knowledge;
   lock::LockEvaluator evaluator(*standard_, process_, chip_rng_);
@@ -95,6 +97,12 @@ RetraceResult RetraceAttack::run(CalibrationKnowledge knowledge) {
   }
 
   characterize(evaluator, result);
+  obs::event("attack.retrace.result",
+             {{"knowledge", to_string(knowledge)},
+              {"success", result.success},
+              {"query", result.trials},
+              {"snr_receiver_db", result.snr_receiver_db},
+              {"sfdr_db", result.sfdr_db}});
   return result;
 }
 

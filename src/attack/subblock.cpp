@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lock/key_layout.h"
+#include "obs/trace.h"
 
 namespace analock::attack {
 
@@ -32,12 +33,17 @@ constexpr std::array<NamedField, 10> kFields{{
 
 SubBlockResult SubBlockAttack::run(const lock::Key64& reference_key,
                                    const SubBlockOptions& options) {
+  ANALOCK_SPAN("attack.subblock");
+  obs::Convergence convergence("subblock");
   SubBlockResult result;
 
   auto measure = [&](const lock::Key64& k) {
     ++result.trials;
     ++result.cost.snr_trials;
-    return evaluator_->snr_modulator_db(k);
+    obs::count("attack.subblock.trials");
+    const double snr = evaluator_->snr_modulator_db(k);
+    convergence.observe(result.trials, snr);
+    return snr;
   };
 
   auto sweep_field = [&](lock::Key64 base, sim::BitRange range,
@@ -72,6 +78,12 @@ SubBlockResult SubBlockAttack::run(const lock::Key64& reference_key,
     fr.isolated_best_code =
         sweep_field(random_base, f.range, fr.isolated_snr_db);
     assembled = assembled.with_field(f.range, fr.isolated_best_code);
+    obs::event("attack.subblock.field",
+               {{"field", f.name},
+                {"phase", "isolated"},
+                {"best_code", fr.isolated_best_code},
+                {"reference_code", fr.reference_code},
+                {"snr_db", fr.isolated_snr_db}});
     result.fields.push_back(fr);
   }
   result.assembled_key = assembled;
@@ -99,6 +111,12 @@ SubBlockResult SubBlockAttack::run(const lock::Key64& reference_key,
     result.fields[i].conditioned_best_code = code;
     result.fields[i].conditioned_snr_db = snr;
     conditioned = base.with_field(f.range, code);
+    obs::event("attack.subblock.field",
+               {{"field", f.name},
+                {"phase", "conditioned"},
+                {"best_code", code},
+                {"reference_code", result.fields[i].reference_code},
+                {"snr_db", snr}});
   }
   result.conditioned_snr_db = evaluator_->snr_receiver_db(conditioned);
   ++result.cost.snr_trials;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "lock/key_layout.h"
+#include "obs/trace.h"
 
 namespace analock::attack {
 
@@ -18,6 +19,8 @@ constexpr std::array<sim::BitRange, 10> kTuningFields{
 
 WarmStartResult WarmStartAttack::run(const lock::Key64& donor_key,
                                      const WarmStartOptions& options) {
+  ANALOCK_SPAN("attack.warm_start");
+  obs::Convergence convergence("warm_start", "spec_margin_db");
   WarmStartResult result;
   result.start_key = donor_key;
   lock::Key64 key = donor_key;
@@ -30,13 +33,19 @@ WarmStartResult WarmStartAttack::run(const lock::Key64& donor_key,
   auto measure = [&](const lock::Key64& k) {
     ++result.trials;
     ++result.cost.snr_trials;
+    obs::count("attack.warm_start.trials");
     const double snr_margin =
         evaluator_->snr_modulator_db(k) - spec.min_snr_db;
-    if (snr_margin < -10.0) return snr_margin;
-    ++result.trials;
-    ++result.cost.sfdr_trials;
-    const double sfdr_margin = evaluator_->sfdr_db(k) - spec.min_sfdr_db;
-    return std::min(snr_margin, sfdr_margin);
+    double score = snr_margin;
+    if (snr_margin >= -10.0) {
+      ++result.trials;
+      ++result.cost.sfdr_trials;
+      obs::count("attack.warm_start.trials");
+      const double sfdr_margin = evaluator_->sfdr_db(k) - spec.min_sfdr_db;
+      score = std::min(snr_margin, sfdr_margin);
+    }
+    convergence.observe(result.trials, score);
+    return score;
   };
 
   double best = measure(key);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "lock/evaluator.h"
 #include "lock/key_layout.h"
+#include "obs/trace.h"
 
 namespace analock::calib {
 
@@ -52,51 +54,76 @@ std::uint32_t Calibrator::tune_vglna_segment(rf::ReceiverConfig config,
 }
 
 CalibrationResult Calibrator::run() {
+  ANALOCK_SPAN("calib.run");
   CalibrationResult result;
   const double f0 = standard_->f0_hz;
+
+  // Every paper step is logged once, mirrored into the trace-event stream,
+  // and charged its oracle-measurement delta (the paper's cost unit).
+  auto log_step = [&result](int step, std::string description, double metric,
+                            std::uint64_t measurements = 0) {
+    obs::event("calib.step", {{"step", step},
+                              {"description", description},
+                              {"metric", metric},
+                              {"measurements", measurements}});
+    result.log.push_back(
+        {step, std::move(description), metric, measurements});
+    result.total_measurements += measurements;
+  };
 
   // The device under test, owned by the ATE for the whole session.
   rf::Receiver chip(*standard_, process_, chip_rng_.fork("calibration-dut"));
 
   // Steps 1-5 are the oscillation-mode setup; they are folded into
   // oscillation_mode_config() which the tuners program into the chip.
-  result.log.push_back({1, "comparator configured as buffer (clock off)", 0});
-  result.log.push_back({2, "output buffer adapted to off-chip load", 15});
-  result.log.push_back({3, "RF input disabled (Gmin off)", 0});
-  result.log.push_back({4, "feedback loop with DAC and loop delay off", 0});
-  result.log.push_back({5, "-Gm set to maximum (oscillation mode)", 63});
+  log_step(1, "comparator configured as buffer (clock off)", 0);
+  log_step(2, "output buffer adapted to off-chip load", 15);
+  log_step(3, "RF input disabled (Gmin off)", 0);
+  log_step(4, "feedback loop with DAC and loop delay off", 0);
+  log_step(5, "-Gm set to maximum (oscillation mode)", 63);
 
   // Step 6: tune Cc / Cf until the oscillation hits the center frequency.
   OscillationTuner osc_tuner(chip, options_.oscillation);
-  const auto osc = osc_tuner.tune(f0);
+  OscillationTuner::Result osc;
+  {
+    ANALOCK_SPAN("calib.step06_tank_tune");
+    osc = osc_tuner.tune(f0);
+  }
   result.tank_freq_err_hz = osc.achieved_hz - f0;
-  result.log.push_back({6, "capacitor arrays tuned to center frequency",
-                        osc.achieved_hz});
+  log_step(6, "capacitor arrays tuned to center frequency", osc.achieved_hz,
+           osc.measurements);
+  obs::set_gauge("calib.tank_freq_err_hz", result.tank_freq_err_hz);
   if (!osc.converged) {
-    result.total_measurements = osc.measurements;
     return result;  // untunable tank: the chip fails calibration
   }
 
   // Step 7: back -Gm off until the oscillation vanishes.
   QTuner q_tuner(chip, options_.q);
-  const auto q = q_tuner.tune(osc.cap_coarse, osc.cap_fine);
-  result.log.push_back({7, "-Gm reduced until oscillation vanished",
-                        static_cast<double>(q.q_enh)});
+  QTuner::Result q;
+  {
+    ANALOCK_SPAN("calib.step07_gm_backoff");
+    q = q_tuner.tune(osc.cap_coarse, osc.cap_fine);
+  }
+  log_step(7, "-Gm reduced until oscillation vanished",
+           static_cast<double>(q.q_enh), q.measurements);
 
   // Step 6 refinement: re-run the fine-array search at a gentle overdrive
   // (just above the threshold found in step 7) where the oscillation pull
   // toward fs/4 is weak and the counter discriminates single fine codes.
   std::uint32_t cap_fine = osc.cap_fine;
   if (q.converged && q.q_threshold + 3 <= rf::LcTank::kQEnhMax) {
+    ANALOCK_SPAN("calib.step06_fine_retune");
+    const std::size_t tuner_before = osc_tuner.measurements();
     const std::uint32_t q_gentle = q.q_threshold + 3;
     cap_fine = osc_tuner.fine_tune(osc.cap_coarse, f0, q_gentle);
     const auto refined = osc_tuner.measure_at_q(
         osc.cap_coarse, cap_fine, q_gentle,
         4 * options_.oscillation.settle + 16384);
     if (refined.freq_hz > 0.0) result.tank_freq_err_hz = refined.freq_hz - f0;
-    result.log.push_back(
-        {6, "fine array re-tuned at gentle -Gm overdrive",
-         static_cast<double>(cap_fine)});
+    obs::set_gauge("calib.tank_freq_err_hz", result.tank_freq_err_hz);
+    log_step(6, "fine array re-tuned at gentle -Gm overdrive",
+             static_cast<double>(cap_fine),
+             osc_tuner.measurements() - tuner_before);
   }
 
   // Steps 8-10: restore the loop, apply the RF input, fs = 4 F0 (fixed by
@@ -117,37 +144,44 @@ CalibrationResult Calibrator::run() {
   config.modulator.gmin_enable = true;
   config.modulator.buffer_in_path = false;
   config.modulator.test_mux = 0;
-  result.log.push_back({8, "feedback loop restored", 0});
-  result.log.push_back({9, "operating mode: RF input applied at F0", f0});
-  result.log.push_back({10, "sampling frequency Fs = 4 F0",
-                        standard_->fs_hz()});
-  result.log.push_back({13, "block biases initialized to nominal", 32});
+  log_step(8, "feedback loop restored", 0);
+  log_step(9, "operating mode: RF input applied at F0", f0);
+  log_step(10, "sampling frequency Fs = 4 F0", standard_->fs_hz());
+  log_step(13, "block biases initialized to nominal", 32);
 
   // Steps 11 + 14: loop delay and iterative bias improvement by measured
-  // SNR of the modulator.
+  // SNR of the modulator (fused inside the optimizer, charged to step 14).
   BiasOptimizer optimizer(*standard_, process_, chip_rng_, options_.bias);
-  config = optimizer.optimize(config);
-  result.log.push_back({11, "loop delay trimmed",
-                        static_cast<double>(config.modulator.loop_delay)});
-  result.log.push_back({14, "iterative bias optimization",
-                        optimizer.measure_snr(config)});
+  {
+    ANALOCK_SPAN("calib.step11_14_bias_opt");
+    config = optimizer.optimize(config);
+  }
+  log_step(11, "loop delay trimmed",
+           static_cast<double>(config.modulator.loop_delay));
+  const double optimized_snr_db = optimizer.measure_snr(config);
+  log_step(14, "iterative bias optimization", optimized_snr_db,
+           optimizer.measurements());
 
   // Step 12: VGLNA gain per input segment.
   if (options_.tune_vglna_segments) {
+    ANALOCK_SPAN("calib.step12_vglna");
+    const std::size_t opt_before = optimizer.measurements();
     for (std::size_t s = 0; s < kInputSegments.size(); ++s) {
       result.vglna_per_segment[s] =
           tune_vglna_segment(config, kInputSegments[s], optimizer);
     }
     config.vglna_gain = result.vglna_per_segment[kReferenceSegment];
-    result.log.push_back({12, "VGLNA tuned per input segment",
-                          static_cast<double>(config.vglna_gain)});
+    std::uint64_t step12_measurements =
+        optimizer.measurements() - opt_before;
     if (options_.refine_after_vglna) {
       BiasOptimizer::Options one_pass = options_.bias;
       one_pass.passes = 1;
       BiasOptimizer refiner(*standard_, process_, chip_rng_, one_pass);
       config = refiner.optimize(config);
-      result.total_measurements += refiner.measurements();
+      step12_measurements += refiner.measurements();
     }
+    log_step(12, "VGLNA tuned per input segment",
+             static_cast<double>(config.vglna_gain), step12_measurements);
   } else {
     result.vglna_per_segment = {15, config.vglna_gain, 2};
   }
@@ -156,15 +190,21 @@ CalibrationResult Calibrator::run() {
   lock::LockEvaluator evaluator(*standard_, process_, chip_rng_);
   result.config = config;
   result.key = lock::encode_key(config);
-  result.snr_modulator_db = evaluator.snr_modulator_db(result.key);
-  result.snr_receiver_db = evaluator.snr_receiver_db(result.key);
-  result.sfdr_db = evaluator.sfdr_db(result.key);
-  result.total_measurements +=
-      osc.measurements + q.measurements + optimizer.measurements() +
-      evaluator.trials();
+  {
+    ANALOCK_SPAN("calib.characterize");
+    result.snr_modulator_db = evaluator.snr_modulator_db(result.key);
+    result.snr_receiver_db = evaluator.snr_receiver_db(result.key);
+    result.sfdr_db = evaluator.sfdr_db(result.key);
+  }
+  result.total_measurements += evaluator.trials();
   const rf::PerformanceSpec& spec = standard_->spec;
   result.success = result.snr_receiver_db >= spec.min_snr_db &&
                    result.sfdr_db >= spec.min_sfdr_db;
+  obs::event("calib.result",
+             {{"success", result.success},
+              {"snr_receiver_db", result.snr_receiver_db},
+              {"sfdr_db", result.sfdr_db},
+              {"total_measurements", result.total_measurements}});
   return result;
 }
 

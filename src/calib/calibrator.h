@@ -42,6 +42,10 @@ struct StepLog {
   int step;                 ///< paper step number (1..14)
   std::string description;
   double metric;            ///< step-specific figure (Hz, code, dB, ...)
+  /// Oracle measurements this step consumed (delta of the evaluator/tuner
+  /// trial counters across the step) — the paper's cost unit, so the
+  /// calibration-budget tables come straight from this data.
+  std::uint64_t measurements = 0;
 };
 
 struct CalibrationResult {

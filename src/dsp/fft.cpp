@@ -5,6 +5,8 @@
 #include <map>
 #include <numbers>
 
+#include "obs/trace.h"
+
 namespace analock::dsp {
 
 namespace {
@@ -37,6 +39,9 @@ void bit_reverse_permute(std::span<cplx> data) {
 }  // namespace
 
 void fft_inplace(std::span<cplx> data) {
+  // Quiet span: the FFT dominates every evaluation, so it is timed into
+  // the duration histograms but kept out of the per-call event stream.
+  ANALOCK_SPAN_QUIET("dsp.fft");
   const std::size_t n = data.size();
   assert(is_power_of_two(n) && "FFT size must be a power of two");
   if (n <= 1) return;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "sim/units.h"
 
 namespace analock::dsp {
@@ -27,6 +28,7 @@ Periodogram::Periodogram(std::span<const double> x, double fs_hz,
       one_sided_(true),
       window_(window),
       lobe_half_width_(main_lobe_half_width(window)) {
+  ANALOCK_SPAN_QUIET("dsp.periodogram");
   assert(is_power_of_two(x.size()) && "capture length must be a power of two");
   const auto w = make_window(window, x.size());
   std::vector<cplx> buf(x.size());
@@ -50,6 +52,7 @@ Periodogram::Periodogram(std::span<const cplx> x, double fs_hz,
       one_sided_(false),
       window_(window),
       lobe_half_width_(main_lobe_half_width(window)) {
+  ANALOCK_SPAN_QUIET("dsp.periodogram");
   assert(is_power_of_two(x.size()) && "capture length must be a power of two");
   const auto w = make_window(window, x.size());
   std::vector<cplx> buf(x.size());
@@ -145,6 +148,7 @@ double Periodogram::power_db(std::size_t k) const {
 
 SnrResult measure_snr(const Periodogram& p, double f_signal, double band_lo,
                       double band_hi) {
+  ANALOCK_SPAN_QUIET("dsp.measure_snr");
   SnrResult result;
   const auto tone = p.tone_power(f_signal);
   result.signal_power = tone.power;
@@ -188,6 +192,7 @@ SnrResult measure_snr_osr(const Periodogram& p, double f_signal,
 
 SfdrResult measure_sfdr_two_tone(const Periodogram& p, double f1, double f2,
                                  double band_lo, double band_hi) {
+  ANALOCK_SPAN_QUIET("dsp.measure_sfdr");
   SfdrResult result;
   const auto t1 = p.tone_power(f1);
   const auto t2 = p.tone_power(f2);

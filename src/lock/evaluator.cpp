@@ -1,6 +1,7 @@
 #include "lock/evaluator.h"
 
 #include "dsp/tonegen.h"
+#include "obs/trace.h"
 
 namespace analock::lock {
 
@@ -23,7 +24,9 @@ double LockEvaluator::snr_modulator_db(const Key64& key) {
 }
 
 double LockEvaluator::snr_modulator_db(const Key64& key, double input_dbm) {
-  ++trials_;
+  ANALOCK_SPAN("eval.snr_modulator");
+  ++trials_.snr_modulator;
+  obs::count("eval.trials.snr_mod");
   rf::Receiver receiver = make_receiver(key);
   const double offset = rf::default_tone_offset_hz(*standard_);
   const auto rf_in = rf::make_test_tone(
@@ -41,7 +44,9 @@ double LockEvaluator::snr_receiver_db(const Key64& key) {
 }
 
 double LockEvaluator::snr_receiver_db(const Key64& key, double input_dbm) {
-  ++trials_;
+  ANALOCK_SPAN("eval.snr_receiver");
+  ++trials_.snr_receiver;
+  obs::count("eval.trials.snr_rx");
   rf::Receiver receiver = make_receiver(key);
   const double offset = rf::default_tone_offset_hz(*standard_);
   const std::size_t n =
@@ -63,7 +68,9 @@ double LockEvaluator::sfdr_db(const Key64& key) {
 }
 
 double LockEvaluator::sfdr_db(const Key64& key, double dbm_per_tone) {
-  ++trials_;
+  ANALOCK_SPAN("eval.sfdr");
+  ++trials_.sfdr;
+  obs::count("eval.trials.sfdr");
   rf::Receiver receiver = make_receiver(key);
   const double center =
       standard_->f0_hz + rf::default_tone_offset_hz(*standard_);

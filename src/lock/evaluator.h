@@ -80,10 +80,25 @@ class LockEvaluator {
   /// Cheap screen used by attacks: receiver-output SNR against spec only.
   bool unlocks(const Key64& key);
 
+  /// Per-metric measurement counts. The aggregate trials() below is
+  /// always the sum of these, so the legacy total and the per-metric
+  /// breakdown cannot disagree.
+  struct TrialCounts {
+    std::uint64_t snr_modulator = 0;
+    std::uint64_t snr_receiver = 0;
+    std::uint64_t sfdr = 0;
+    [[nodiscard]] std::uint64_t total() const {
+      return snr_modulator + snr_receiver + sfdr;
+    }
+  };
+
+  [[nodiscard]] const TrialCounts& trial_counts() const { return trials_; }
+
   /// Number of single-metric measurements performed so far (attack cost
   /// accounting: the paper charges ~20 simulated minutes per SNR point).
-  [[nodiscard]] std::uint64_t trials() const { return trials_; }
-  void reset_trials() { trials_ = 0; }
+  /// Legacy aggregate: delegates to the per-metric counters.
+  [[nodiscard]] std::uint64_t trials() const { return trials_.total(); }
+  void reset_trials() { trials_ = {}; }
 
  private:
   /// Builds a freshly-seeded receiver configured from `key`.
@@ -93,7 +108,7 @@ class LockEvaluator {
   sim::ProcessVariation process_;
   sim::Rng rng_;
   EvaluatorOptions options_;
-  std::uint64_t trials_ = 0;
+  TrialCounts trials_;
 };
 
 }  // namespace analock::lock

@@ -1,0 +1,82 @@
+// Trace events and the sink interface they flow into.
+//
+// An Event is one line of the run record: a completed span, a point
+// event with key/value attributes (attack convergence, calibration step),
+// or an end-of-run summary row. Sinks serialize events; JsonlSink in
+// jsonl_sink.h is the machine-readable one.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace analock::obs {
+
+/// Attribute value: the JSON scalar types.
+using AttrValue = std::variant<std::int64_t, double, bool, std::string>;
+
+/// One key/value attribute attached to an event.
+struct Attr {
+  std::string key;
+  AttrValue value;
+
+  Attr(std::string k, std::int64_t v) : key(std::move(k)), value(v) {}
+  Attr(std::string k, std::uint64_t v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Attr(std::string k, int v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Attr(std::string k, unsigned v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Attr(std::string k, double v) : key(std::move(k)), value(v) {}
+  Attr(std::string k, bool v) : key(std::move(k)), value(v) {}
+  Attr(std::string k, const char* v)
+      : key(std::move(k)), value(std::string(v)) {}
+  Attr(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+};
+
+/// One record of the run: `type` is "span", "event", or "summary".
+struct Event {
+  std::uint64_t ts_ns = 0;
+  const char* type = "event";
+  std::string name;
+  int depth = 0;
+  /// Span duration; negative means "not a timed record" (omitted).
+  double dur_ns = -1.0;
+  std::vector<Attr> attrs;
+};
+
+/// Destination for the event stream.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& event) = 0;
+  virtual void flush() {}
+};
+
+/// In-memory sink: keeps every event for inspection (tests, adapters).
+class CollectorSink final : public EventSink {
+ public:
+  void emit(const Event& event) override {
+    const std::scoped_lock lock(mu_);
+    events_.push_back(event);
+  }
+
+  [[nodiscard]] std::vector<Event> events() const {
+    const std::scoped_lock lock(mu_);
+    return events_;
+  }
+
+  void clear() {
+    const std::scoped_lock lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace analock::obs

@@ -1,0 +1,119 @@
+#include "obs/jsonl_sink.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace analock::obs {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // inf/nan are not JSON
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+void append_number(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_attr_value(std::string& out, const AttrValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    append_number(out, *i);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    append_number(out, *d);
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    out += *b ? "true" : "false";
+  } else {
+    out += '"';
+    JsonlSink::append_escaped(out, std::get<std::string>(value));
+    out += '"';
+  }
+}
+
+}  // namespace
+
+void JsonlSink::append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through byte-exact
+        }
+    }
+  }
+}
+
+std::string JsonlSink::format(const Event& event) {
+  std::string line;
+  line.reserve(96 + 32 * event.attrs.size());
+  line += "{\"ts_ns\":";
+  append_number(line, static_cast<std::int64_t>(event.ts_ns));
+  line += ",\"type\":\"";
+  append_escaped(line, event.type);
+  line += "\",\"name\":\"";
+  append_escaped(line, event.name);
+  line += "\",\"depth\":";
+  append_number(line, static_cast<std::int64_t>(event.depth));
+  if (event.dur_ns >= 0.0) {
+    line += ",\"dur_ns\":";
+    append_number(line, event.dur_ns);
+  }
+  if (!event.attrs.empty()) {
+    line += ",\"attrs\":{";
+    bool first = true;
+    for (const Attr& attr : event.attrs) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      append_escaped(line, attr.key);
+      line += "\":";
+      append_attr_value(line, attr.value);
+    }
+    line += '}';
+  }
+  line += '}';
+  return line;
+}
+
+JsonlSink::JsonlSink(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "w");
+}
+
+JsonlSink::~JsonlSink() {
+  const std::scoped_lock lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlSink::emit(const Event& event) {
+  const std::string line = format(event);
+  const std::scoped_lock lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);  // artifacts must survive aborted runs
+}
+
+void JsonlSink::flush() {
+  const std::scoped_lock lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace analock::obs

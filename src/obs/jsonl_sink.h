@@ -1,0 +1,51 @@
+// JSONL event sink: one JSON object per line, append-only, flushed per
+// line so artifacts survive aborted runs. The line format is stable and
+// consumed by tools/check_jsonl.py and any jq one-liner:
+//
+//   {"ts_ns":123,"type":"span","name":"calib.step06","depth":1,
+//    "dur_ns":4500.0}
+//   {"ts_ns":456,"type":"event","name":"attack.convergence",
+//    "depth":1,"attrs":{"attack":"brute_force","query":17,
+//    "best_snr_db":12.5}}
+//
+// Required fields on every line: ts_ns (integer), type, name.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/event.h"
+
+namespace analock::obs {
+
+class JsonlSink final : public EventSink {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before trusting it.
+  explicit JsonlSink(std::string path);
+  ~JsonlSink() override;
+
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  void emit(const Event& event) override;
+  void flush() override;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Serializes one event to its JSON line (no trailing newline).
+  /// Exposed so tests can validate the format without file I/O.
+  [[nodiscard]] static std::string format(const Event& event);
+
+  /// Appends `text` to `out` with JSON string escaping applied.
+  static void append_escaped(std::string& out, std::string_view text);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+};
+
+}  // namespace analock::obs

@@ -1,0 +1,22 @@
+// Umbrella header for the analock observability layer.
+//
+//   #include "obs/obs.h"
+//
+//   ANALOCK_SPAN("calib.step06");              // RAII timed scope
+//   obs::count("eval.trials.snr_mod");         // named counter
+//   obs::event("attack.convergence", {...});   // JSONL point event
+//   obs::print_report(obs::registry());        // end-of-run table
+//
+// Everything is off (single relaxed-load cost) until
+// `obs::registry().set_enabled(true)` or the environment enables it:
+//   ANALOCK_OBS=1             metrics + spans on
+//   ANALOCK_OBS_JSONL=<path>  also stream events to <path> (JSONL)
+//   ANALOCK_OBS_REPORT=1      print the summary table at process exit
+#pragma once
+
+#include "obs/clock.h"        // IWYU pragma: export
+#include "obs/event.h"        // IWYU pragma: export
+#include "obs/jsonl_sink.h"   // IWYU pragma: export
+#include "obs/metrics.h"      // IWYU pragma: export
+#include "obs/report.h"       // IWYU pragma: export
+#include "obs/trace.h"        // IWYU pragma: export

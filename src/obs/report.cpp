@@ -1,0 +1,122 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace analock::obs {
+
+void print_report(const Registry& reg, std::FILE* out) {
+  auto spans = reg.span_stats();
+  const auto counters = reg.counters();
+  const auto gauges = reg.gauges();
+  const auto histograms = reg.histograms();
+  if (spans.empty() && counters.empty() && gauges.empty() &&
+      histograms.empty()) {
+    return;
+  }
+
+  std::fprintf(out, "\n---------------------------- observability report "
+                    "----------------------------\n");
+  if (!spans.empty()) {
+    std::sort(spans.begin(), spans.end(), [](const auto& a, const auto& b) {
+      return a.second.sum > b.second.sum;
+    });
+    std::fprintf(out, "%-28s %10s %12s %10s %10s %10s\n", "span", "calls",
+                 "total[ms]", "p50[ms]", "p95[ms]", "max[ms]");
+    for (const auto& [name, s] : spans) {
+      if (s.count == 0) continue;
+      std::fprintf(out, "%-28s %10llu %12.3f %10.4f %10.4f %10.4f\n",
+                   name.c_str(), static_cast<unsigned long long>(s.count),
+                   s.sum, s.p50, s.p95, s.max);
+    }
+  }
+
+  bool header = false;
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    if (!header) {
+      std::fprintf(out, "%-28s %10s\n", "counter", "value");
+      header = true;
+    }
+    std::fprintf(out, "%-28s %10llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  header = false;
+  for (const auto& [name, value] : gauges) {
+    if (!header) {
+      std::fprintf(out, "%-28s %10s\n", "gauge", "value");
+      header = true;
+    }
+    std::fprintf(out, "%-28s %10.4g\n", name.c_str(), value);
+  }
+  header = false;
+  for (const auto& [name, s] : histograms) {
+    if (s.count == 0) continue;
+    if (!header) {
+      std::fprintf(out, "%-28s %10s %12s %10s %10s %10s\n", "histogram",
+                   "count", "mean", "p50", "p95", "max");
+      header = true;
+    }
+    std::fprintf(out, "%-28s %10llu %12.4g %10.4g %10.4g %10.4g\n",
+                 name.c_str(), static_cast<unsigned long long>(s.count),
+                 s.mean(), s.p50, s.p95, s.max);
+  }
+  std::fprintf(out, "-------------------------------------------------------"
+                    "-----------------------\n");
+  std::fflush(out);
+}
+
+void emit_summary_events(Registry& reg) {
+  if (!reg.enabled() || !reg.has_sink()) return;
+  const std::uint64_t now = reg.now_ns();
+  for (const auto& [name, s] : reg.span_stats()) {
+    if (s.count == 0) continue;
+    Event e;
+    e.ts_ns = now;
+    e.type = "summary";
+    e.name = name;
+    e.attrs = {{"kind", "span"},
+               {"calls", s.count},
+               {"total_ms", s.sum},
+               {"p50_ms", s.p50},
+               {"p95_ms", s.p95},
+               {"max_ms", s.max}};
+    reg.emit(e);
+  }
+  for (const auto& [name, value] : reg.counters()) {
+    if (value == 0) continue;
+    Event e;
+    e.ts_ns = now;
+    e.type = "summary";
+    e.name = name;
+    e.attrs = {{"kind", "counter"}, {"value", value}};
+    reg.emit(e);
+  }
+}
+
+void print_report_at_exit() {
+  static const bool registered = [] {
+    std::atexit([] {
+      Registry& reg = registry();
+      if (reg.enabled()) print_report(reg);
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+void emit_summaries_at_exit() {
+  static const bool registered = [] {
+    std::atexit([] {
+      // Quiet-span-only workloads emit nothing per call; make sure an
+      // env-configured JSONL artifact still carries the timing summary.
+      emit_summary_events(registry());
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace analock::obs

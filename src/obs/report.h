@@ -1,0 +1,30 @@
+// End-of-run reporting: a human table on stdout and machine-readable
+// "summary" events into the attached sink.
+#pragma once
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace analock::obs {
+
+/// Prints the run report to `out`: per-span call count, total time and
+/// p50/p95/max from the duration histograms (sorted by total time), then
+/// every non-zero counter, gauge, and value histogram. Prints nothing if
+/// no metric was ever touched.
+void print_report(const Registry& reg, std::FILE* out = stdout);
+
+/// Emits one "summary" event per span (attrs: kind="span", calls,
+/// total_ms, p50_ms, p95_ms, max_ms) and per non-zero counter (attrs:
+/// kind="counter", value) into the registry's sink.
+void emit_summary_events(Registry& reg);
+
+/// Registers a std::atexit hook that prints the global registry's report
+/// if observability is still enabled at process exit. Idempotent.
+void print_report_at_exit();
+
+/// Registers a std::atexit hook that appends the summary events to the
+/// global registry's sink (if one is still attached). Idempotent.
+void emit_summaries_at_exit();
+
+}  // namespace analock::obs

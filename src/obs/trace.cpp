@@ -1,0 +1,67 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace analock::obs {
+
+namespace {
+
+thread_local int tls_depth = 0;
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, bool emit_event)
+    : name_(name), emit_event_(emit_event) {
+  Registry& reg = registry();
+  if (!reg.enabled()) return;
+  active_ = true;
+  depth_ = tls_depth++;
+  begin_ns_ = reg.now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --tls_depth;
+  Registry& reg = registry();
+  const std::uint64_t end_ns = reg.now_ns();
+  const std::uint64_t dur_ns = end_ns > begin_ns_ ? end_ns - begin_ns_ : 0;
+  reg.span_histogram(name_).observe(static_cast<double>(dur_ns) / 1e6);
+  if (emit_event_ && reg.has_sink()) {
+    Event e;
+    e.ts_ns = begin_ns_;
+    e.type = "span";
+    e.name = name_;
+    e.depth = depth_;
+    e.dur_ns = static_cast<double>(dur_ns);
+    reg.emit(e);
+  }
+}
+
+int TraceSpan::current_depth() { return tls_depth; }
+
+void event(std::string_view name, std::initializer_list<Attr> attrs) {
+  Registry& reg = registry();
+  if (!reg.enabled() || !reg.has_sink()) return;
+  Event e;
+  e.ts_ns = reg.now_ns();
+  e.type = "event";
+  e.name = std::string(name);
+  e.depth = tls_depth;
+  e.attrs.assign(attrs.begin(), attrs.end());
+  reg.emit(e);
+}
+
+Convergence::Convergence(std::string attack, std::string metric)
+    : attack_(std::move(attack)), metric_(std::move(metric)) {}
+
+bool Convergence::observe(std::uint64_t query, double score) {
+  if (score <= best_) return false;
+  best_ = score;
+  event("attack.convergence", {{"attack", attack_},
+                               {"query", query},
+                               {"metric", metric_},
+                               {"best_score", score}});
+  return true;
+}
+
+}  // namespace analock::obs

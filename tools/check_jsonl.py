@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validates the observability JSONL artifact written by a bench binary.
+
+Runs the given bench in a scratch directory with a small trial budget
+(ANALOCK_BENCH_TRIALS) so it finishes quickly, then checks that the
+artifact is well-formed:
+
+  * every line parses as a standalone JSON object;
+  * every line carries the required fields: ts_ns (non-negative int),
+    type ("span" | "event" | "summary"), name (non-empty string);
+  * span lines carry a non-negative dur_ns;
+  * there is at least one summary line of kind "span" with calls >= 1
+    and both p50_ms and p95_ms present (the per-span timing summary);
+  * attack.convergence events per attack have strictly increasing
+    best_score and non-decreasing query counts (the convergence curve
+    the attack benches are meant to record); a drop in the query count
+    marks the start of a new run of the same attack and resets the curve.
+
+Usage: check_jsonl.py <bench-binary> <artifact-name> [trials]
+Exit code 0 = artifact valid.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_TYPES = {"span", "event", "summary"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_jsonl: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_line(lineno: int, line: str) -> dict:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as err:
+        fail(f"line {lineno} is not valid JSON ({err}): {line[:200]}")
+    if not isinstance(record, dict):
+        fail(f"line {lineno} is not a JSON object: {line[:200]}")
+    ts = record.get("ts_ns")
+    if not isinstance(ts, int) or ts < 0:
+        fail(f"line {lineno}: ts_ns missing or not a non-negative int: {ts!r}")
+    rtype = record.get("type")
+    if rtype not in REQUIRED_TYPES:
+        fail(f"line {lineno}: type must be one of {sorted(REQUIRED_TYPES)}, "
+             f"got {rtype!r}")
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"line {lineno}: name missing or empty: {name!r}")
+    if rtype == "span":
+        dur = record.get("dur_ns")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"line {lineno}: span without non-negative dur_ns: {dur!r}")
+    return record
+
+
+def validate_artifact(path: str) -> None:
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                fail(f"line {lineno} is empty")
+            records.append(validate_line(lineno, line))
+    if not records:
+        fail("artifact is empty")
+
+    # Per-span timing summary rows must exist and be coherent.
+    span_summaries = [
+        r for r in records
+        if r["type"] == "summary" and r.get("attrs", {}).get("kind") == "span"
+    ]
+    if not span_summaries:
+        fail("no summary rows of kind 'span' (emit_summary_events missing?)")
+    for r in span_summaries:
+        attrs = r["attrs"]
+        calls = attrs.get("calls")
+        if not isinstance(calls, int) or calls < 1:
+            fail(f"span summary {r['name']!r}: calls must be >= 1, got {calls!r}")
+        for key in ("total_ms", "p50_ms", "p95_ms"):
+            if not isinstance(attrs.get(key), (int, float)):
+                fail(f"span summary {r['name']!r}: missing numeric {key}")
+
+    # Convergence curves: per attack, best_score strictly improves and the
+    # query count never goes backwards.
+    curves = {}
+    for r in records:
+        if r["type"] == "event" and r["name"] == "attack.convergence":
+            attrs = r.get("attrs", {})
+            attack = attrs.get("attack")
+            query = attrs.get("query")
+            score = attrs.get("best_score")
+            if not isinstance(attack, str):
+                fail(f"convergence event without attack name: {attrs!r}")
+            if not isinstance(query, int) or query < 1:
+                fail(f"convergence event with bad query count: {attrs!r}")
+            if not isinstance(score, (int, float)):
+                fail(f"convergence event with non-numeric best_score: {attrs!r}")
+            curves.setdefault(attack, []).append((query, float(score)))
+    if not curves:
+        fail("no attack.convergence events in the artifact")
+    for attack, points in curves.items():
+        for (q0, s0), (q1, s1) in zip(points, points[1:]):
+            if q1 < q0:
+                continue  # a fresh run of the same attack starts a new curve
+            if s1 <= s0:
+                fail(f"{attack}: best_score did not improve ({s0} -> {s1})")
+
+    n_spans = sum(1 for r in records if r["type"] == "span")
+    n_curve = sum(len(p) for p in curves.values())
+    print(f"check_jsonl: OK: {len(records)} lines, {n_spans} span records, "
+          f"{len(span_summaries)} span summaries, {n_curve} convergence "
+          f"points across {sorted(curves)}")
+
+
+def main() -> None:
+    if len(sys.argv) not in (3, 4):
+        fail(f"usage: {sys.argv[0]} <bench-binary> <artifact-name> [trials]")
+    bench = os.path.abspath(sys.argv[1])
+    artifact_name = sys.argv[2]
+    trials = sys.argv[3] if len(sys.argv) == 4 else "40"
+
+    with tempfile.TemporaryDirectory(prefix="analock_obs_") as scratch:
+        env = dict(os.environ)
+        env["ANALOCK_BENCH_TRIALS"] = trials
+        env.pop("ANALOCK_OBS_JSONL", None)  # let the bench pick its own path
+        proc = subprocess.run(
+            [bench], cwd=scratch, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout[-4000:])
+            fail(f"bench exited with code {proc.returncode}")
+        artifact = os.path.join(scratch, artifact_name)
+        if not os.path.exists(artifact):
+            fail(f"bench did not write {artifact_name} "
+                 f"(dir contains: {os.listdir(scratch)})")
+        validate_artifact(artifact)
+
+
+if __name__ == "__main__":
+    main()
