@@ -31,6 +31,14 @@
 #include "rf/standards.h"
 #include "rf/vglna.h"
 
+// Fault-injection campaign layer: deterministic, seeded fault plans
+// threaded through the oracles, the fabric word, the PUF and the
+// activation channel.
+#include "fault/crc32.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/lossy_channel.h"
+
 // The locking scheme: keys, evaluation, key management, activation.
 #include "lock/evaluator.h"
 #include "lock/key64.h"
@@ -39,6 +47,7 @@
 #include "lock/locked_receiver.h"
 #include "lock/puf.h"
 #include "lock/remote_activation.h"
+#include "lock/remote_activation_session.h"
 
 // The secret calibration procedure.
 #include "calib/bias_optimizer.h"

@@ -61,6 +61,13 @@ class BiasOptimizer {
     return evaluator_.trials();
   }
 
+  /// Forwards a fault campaign to the optimizer's oracle (not owned;
+  /// nullptr detaches): every SNR/SFDR trial then sees the campaign's
+  /// measurement faults.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    evaluator_.set_fault_injector(injector);
+  }
+
  private:
   /// Sweeps one field (coarse grid then +/-refine) maximizing score().
   void sweep_field(rf::ReceiverConfig& config, std::uint32_t* field,

@@ -14,6 +14,7 @@
 #include "calib/bias_optimizer.h"
 #include "calib/oscillation_tuner.h"
 #include "calib/q_tuner.h"
+#include "fault/fault_injector.h"
 #include "lock/key64.h"
 #include "rf/receiver.h"
 #include "rf/standards.h"
@@ -21,6 +22,32 @@
 #include "sim/rng.h"
 
 namespace analock::calib {
+
+/// Typed diagnosis of a failed calibration — which stage of the 14-step
+/// procedure gave up, so the test floor can decide between re-insertion,
+/// resume-from-checkpoint, and scrapping the die.
+enum class FailureReason {
+  kNone = 0,        ///< calibration succeeded
+  kTankUntunable,   ///< step 6 never converged within the retry budget
+  kQNotConverged,   ///< step 7 found no oscillation threshold
+  kDiverged,        ///< recovery retries made the measured SNR worse
+  kSpecNotMet,      ///< final characterization below spec after retries
+};
+
+[[nodiscard]] const char* to_string(FailureReason reason);
+
+/// Resumable state of the step sequence: everything steps 1-7 (the tank
+/// and Q tuning, the expensive oscillation-mode phase) produced. A result
+/// carries it even on failure, so a later insertion can resume instead of
+/// restarting from step 1.
+struct CalibrationCheckpoint {
+  bool tank_done = false;  ///< steps 1-7 complete; fields below valid
+  std::uint32_t cap_coarse = 0;
+  std::uint32_t cap_fine = 0;
+  std::uint32_t q_enh = 0;
+  std::uint32_t q_threshold = 0;
+  double tank_freq_err_hz = 0.0;
+};
 
 /// Input-power segment of the dynamic-range characterization (Fig. 11).
 struct InputSegment {
@@ -46,10 +73,14 @@ struct StepLog {
   /// trial counters across the step) — the paper's cost unit, so the
   /// calibration-budget tables come straight from this data.
   std::uint64_t measurements = 0;
+  unsigned retries = 0;       ///< extra attempts the step needed
+  std::uint64_t faults = 0;   ///< injected faults observed during the step
 };
 
 struct CalibrationResult {
   bool success = false;
+  /// Typed diagnosis when success is false (kNone on success).
+  FailureReason failure = FailureReason::kNone;
   rf::ReceiverConfig config;  ///< mission configuration (reference segment)
   lock::Key64 key;            ///< the chip's secret key for this standard
   std::array<std::uint32_t, 3> vglna_per_segment{};
@@ -59,10 +90,38 @@ struct CalibrationResult {
   double sfdr_db = -200.0;
   std::size_t total_measurements = 0;
   std::vector<StepLog> log;
+  /// Sum of per-step retries (hardened runs; 0 on the clean path).
+  unsigned total_retries = 0;
+  /// Faults the attached campaign injected over this run.
+  std::uint64_t faults_injected = 0;
+  /// Resume state: valid (tank_done) once steps 1-7 completed, whether or
+  /// not the run as a whole succeeded.
+  CalibrationCheckpoint checkpoint;
 };
 
 class Calibrator {
  public:
+  /// Robustness knobs for noisy/faulty ATE sessions. Disabled by default:
+  /// the clean path is bit-exact with the historical calibrator.
+  struct Hardening {
+    bool enabled = false;
+    /// Median-of-N votes per final-characterization reading (odd). A
+    /// single spiked or dropped reading then cannot veto a good chip.
+    unsigned measurement_votes = 3;
+    /// Extra attempts per retryable stage (tank tune, Q tune, spec
+    /// recovery) before the step's failure becomes the run's failure.
+    unsigned max_step_retries = 2;
+    /// Spec-recovery divergence detection: if a retry's receiver SNR
+    /// lands this many dB below the previous attempt, the retries are
+    /// making things worse — stop and report kDiverged.
+    double divergence_margin_db = 3.0;
+
+    /// Overrides from the environment (unset knobs keep the defaults):
+    ///   ANALOCK_FAULT_HARDEN=1, ANALOCK_FAULT_VOTES,
+    ///   ANALOCK_FAULT_RETRIES, ANALOCK_FAULT_DIVERGENCE_DB
+    [[nodiscard]] static Hardening from_env();
+  };
+
   struct Options {
     OscillationTuner::Options oscillation{};
     QTuner::Options q{};
@@ -70,6 +129,7 @@ class Calibrator {
     bool tune_vglna_segments = true;
     /// Re-run one extra bias pass after the VGLNA selection.
     bool refine_after_vglna = true;
+    Hardening hardening{};
   };
 
   /// A chip is identified by (standard, process corner, noise seed): the
@@ -85,16 +145,35 @@ class Calibrator {
   /// Executes steps 1-14 and characterizes the result.
   CalibrationResult run();
 
+  /// Resumes the step sequence from a checkpoint (skipping the completed
+  /// tank/Q phase when checkpoint.tank_done). An invalid checkpoint falls
+  /// back to a full run.
+  CalibrationResult run(const CalibrationCheckpoint& resume_from);
+
+  /// Attaches a fault campaign (not owned; nullptr detaches). The
+  /// injector is threaded into every oracle the calibration consumes.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
+  CalibrationResult run_impl(const CalibrationCheckpoint* resume_from);
+
   /// Chooses the VGLNA code for one input segment by measured SNR.
   std::uint32_t tune_vglna_segment(rf::ReceiverConfig config,
                                    const InputSegment& segment,
                                    BiasOptimizer& optimizer);
 
+  /// Faults the campaign has injected so far (0 with no injector).
+  [[nodiscard]] std::uint64_t fault_count() const {
+    return injector_ != nullptr ? injector_->counts().total() : 0;
+  }
+
   const rf::Standard* standard_;
   sim::ProcessVariation process_;
   sim::Rng chip_rng_;
   Options options_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace analock::calib

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for message framing.
+//
+// The remote-activation frames carry this checksum so the receiver can
+// tell channel corruption apart from a cryptographic mismatch — a
+// corrupted frame is retried, a framing-check failure is a protocol
+// error.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace analock::fault {
+
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace analock::fault

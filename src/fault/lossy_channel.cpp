@@ -1,0 +1,36 @@
+#include "fault/lossy_channel.h"
+
+#include <utility>
+
+namespace analock::fault {
+
+Delivery LossyChannel::transmit(std::vector<std::uint8_t> payload) {
+  ++now_;
+  ++stats_.sent;
+  Delivery d;
+  d.deliver_tick = now_;
+  if (injector_ != nullptr && injector_->active()) {
+    if (injector_->draw_msg_loss()) {
+      ++stats_.lost;
+      return d;  // delivered stays false
+    }
+    const std::int32_t flip_bit =
+        injector_->draw_msg_corruption(payload.size() * 8);
+    if (flip_bit >= 0) {
+      payload[static_cast<std::size_t>(flip_bit) / 8] ^=
+          static_cast<std::uint8_t>(1u << (flip_bit % 8));
+      d.corrupted = true;
+      ++stats_.corrupted;
+    }
+    const std::uint32_t delay = injector_->draw_msg_delay();
+    if (delay > 0) {
+      d.deliver_tick += delay;
+      ++stats_.delayed;
+    }
+  }
+  d.delivered = true;
+  d.payload = std::move(payload);
+  return d;
+}
+
+}  // namespace analock::fault

@@ -1,0 +1,59 @@
+// Lossy-channel model for the design-house <-> test-floor link.
+//
+// The channel moves opaque byte payloads and, per the injector's
+// FaultPlan, may drop a message, flip one payload bit, or delay delivery
+// by some number of channel ticks. Time is logical: the channel keeps a
+// tick counter that the sender advances (one tick per transmit attempt
+// plus explicit waits), so sessions can implement timeouts
+// deterministically without wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_injector.h"
+
+namespace analock::fault {
+
+/// Outcome of one transmit: either lost, or delivered (possibly
+/// corrupted) at `deliver_tick`.
+struct Delivery {
+  bool delivered = false;
+  bool corrupted = false;                ///< diagnostic only; receivers
+                                         ///< must detect via checksums
+  std::uint64_t deliver_tick = 0;        ///< send_tick + injected delay
+  std::vector<std::uint8_t> payload;
+};
+
+class LossyChannel {
+ public:
+  /// Statistics of everything the channel has carried.
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t delayed = 0;
+  };
+
+  /// The injector supplies the fault draws; it is not owned. A null
+  /// injector (or an inactive plan) makes the channel perfect.
+  explicit LossyChannel(FaultInjector* injector = nullptr)
+      : injector_(injector) {}
+
+  /// Transmits one message; costs one tick. The result says when (and
+  /// whether) the peer sees it.
+  Delivery transmit(std::vector<std::uint8_t> payload);
+
+  /// Advances logical time (a sender backing off between retries).
+  void wait(std::uint64_t ticks) { now_ += ticks; }
+
+  [[nodiscard]] std::uint64_t now() const { return now_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  FaultInjector* injector_;
+  std::uint64_t now_ = 0;
+  Stats stats_;
+};
+
+}  // namespace analock::fault

@@ -15,8 +15,17 @@ LockEvaluator::LockEvaluator(const rf::Standard& standard,
 
 rf::Receiver LockEvaluator::make_receiver(const Key64& key) const {
   rf::Receiver receiver(*standard_, process_, rng_);
-  receiver.configure(decode_key(key, standard_->digital_mode));
+  // Stuck-at register bits corrupt the word between the key source and
+  // the fabric — the chip runs whatever the faulty register holds.
+  const Key64 applied =
+      injector_ != nullptr ? Key64{injector_->perturb_word(key.bits())} : key;
+  receiver.configure(decode_key(applied, standard_->digital_mode));
   return receiver;
+}
+
+double LockEvaluator::faulted(const char* site, double clean_db) const {
+  if (injector_ == nullptr) return clean_db;
+  return injector_->perturb_measurement(site, clean_db);
 }
 
 double LockEvaluator::snr_modulator_db(const Key64& key) {
@@ -36,7 +45,7 @@ double LockEvaluator::snr_modulator_db(const Key64& key, double input_dbm) {
   const auto snr = dsp::measure_snr_osr(p, standard_->f0_hz + offset,
                                         standard_->fs_hz() / 4.0,
                                         standard_->osr);
-  return snr.snr_db;
+  return faulted("eval.snr_modulator", snr.snr_db);
 }
 
 double LockEvaluator::snr_receiver_db(const Key64& key) {
@@ -60,7 +69,7 @@ double LockEvaluator::snr_receiver_db(const Key64& key, double input_dbm) {
   const dsp::Periodogram p(bb, capture.baseband.fs_hz);
   const double half_band = standard_->fs_hz() / (4.0 * standard_->osr);
   const auto snr = dsp::measure_snr(p, offset, -half_band, half_band);
-  return snr.snr_db;
+  return faulted("eval.snr_receiver", snr.snr_db);
 }
 
 double LockEvaluator::sfdr_db(const Key64& key) {
@@ -86,7 +95,7 @@ double LockEvaluator::sfdr_db(const Key64& key, double dbm_per_tone) {
       p, center - spacing / 2.0, center + spacing / 2.0, f0 - half_band,
       f0 + half_band);
   // The paper reports fundamental-to-third-order distance.
-  return sfdr.im3_db;
+  return faulted("eval.sfdr", sfdr.im3_db);
 }
 
 PerformanceReport LockEvaluator::evaluate(const Key64& key) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "dsp/spectrum.h"
+#include "fault/fault_injector.h"
 #include "lock/key64.h"
 #include "lock/key_layout.h"
 #include "rf/receiver.h"
@@ -100,15 +101,31 @@ class LockEvaluator {
   [[nodiscard]] std::uint64_t trials() const { return trials_.total(); }
   void reset_trials() { trials_ = {}; }
 
+  /// Attaches a fault campaign (not owned; nullptr detaches). An active
+  /// injector perturbs every oracle reading (noise spikes / transient
+  /// dropouts) and applies stuck-at bits to the fabric word before it is
+  /// programmed. With no injector — or an inactive plan — every
+  /// measurement is bit-exact with the fault layer absent.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const {
+    return injector_;
+  }
+
  private:
   /// Builds a freshly-seeded receiver configured from `key`.
   [[nodiscard]] rf::Receiver make_receiver(const Key64& key) const;
+
+  /// Routes a clean reading through the injector, if any.
+  [[nodiscard]] double faulted(const char* site, double clean_db) const;
 
   const rf::Standard* standard_;
   sim::ProcessVariation process_;
   sim::Rng rng_;
   EvaluatorOptions options_;
   TrialCounts trials_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace analock::lock

@@ -1,8 +1,9 @@
 #include "lock/key_manager.h"
 
-#include <cassert>
+#include <vector>
 
 #include "lock/key_layout.h"
+#include "obs/trace.h"
 
 namespace analock::lock {
 
@@ -12,13 +13,13 @@ TamperProofLutScheme::TamperProofLutScheme(std::size_t slots) : lut_(slots) {}
 
 void TamperProofLutScheme::provision(std::size_t slot,
                                      const Key64& config_key) {
-  assert(slot < lut_.size());
+  if (slot >= lut_.size()) return;
   if (tampered_) return;  // a zeroized part stays dead
   lut_[slot] = config_key;
 }
 
 std::optional<Key64> TamperProofLutScheme::load(std::size_t slot) {
-  assert(slot < lut_.size());
+  if (slot >= lut_.size()) return std::nullopt;
   if (tampered_) return std::nullopt;
   return lut_[slot];
 }
@@ -33,7 +34,7 @@ void TamperProofLutScheme::tamper() {
 }
 
 void TamperProofLutScheme::poison(std::size_t slot, sim::Rng& rng) {
-  assert(slot < lut_.size());
+  if (slot >= lut_.size()) return;
   // A random word with the mode bits scrambled is non-functional with
   // overwhelming probability; callers can re-check with a LockEvaluator.
   lut_[slot] = Key64::random(rng);
@@ -41,19 +42,46 @@ void TamperProofLutScheme::poison(std::size_t slot, sim::Rng& rng) {
 
 // ---------------------------------------------------------------- PUF --
 
-PufXorScheme::PufXorScheme(ArbiterPuf& puf, std::size_t slots)
-    : puf_(&puf), user_keys_(slots) {}
+PufXorScheme::PufXorScheme(ArbiterPuf& puf, std::size_t slots,
+                           unsigned regeneration_votes)
+    : puf_(&puf),
+      user_keys_(slots),
+      regeneration_votes_(regeneration_votes == 0 ? 1 : regeneration_votes) {}
+
+Key64 PufXorScheme::regenerate_id(std::size_t slot) {
+  if (regeneration_votes_ == 1) return puf_->identification_key(slot);
+  // Error correction across power-ons: each regeneration can disagree in
+  // a few bits when responses flip; the bitwise majority recovers the
+  // enrolled id key as long as fewer than half the regenerations err per
+  // bit.
+  std::vector<Key64> regens;
+  regens.reserve(regeneration_votes_);
+  for (unsigned v = 0; v < regeneration_votes_; ++v) {
+    regens.push_back(puf_->identification_key(slot));
+  }
+  const Key64 voted = majority_vote_keys(regens);
+  for (const Key64& r : regens) {
+    if (r != voted) {
+      obs::count("recover.puf_majority_corrections");
+      obs::event("recover.puf_majority",
+                 {{"slot", static_cast<std::uint64_t>(slot)},
+                  {"corrected_bits", r.hamming_distance(voted)}});
+      break;
+    }
+  }
+  return voted;
+}
 
 void PufXorScheme::provision(std::size_t slot, const Key64& config_key) {
-  assert(slot < user_keys_.size());
-  const Key64 id = puf_->identification_key(slot);
+  if (slot >= user_keys_.size()) return;
+  const Key64 id = regenerate_id(slot);
   user_keys_[slot] = config_key ^ id;
 }
 
 std::optional<Key64> PufXorScheme::load(std::size_t slot) {
-  assert(slot < user_keys_.size());
+  if (slot >= user_keys_.size()) return std::nullopt;
   if (!user_keys_[slot]) return std::nullopt;
-  const Key64 id = puf_->identification_key(slot);
+  const Key64 id = regenerate_id(slot);
   return *user_keys_[slot] ^ id;
 }
 
@@ -64,12 +92,12 @@ std::size_t PufXorScheme::storage_bits() const {
 }
 
 std::optional<Key64> PufXorScheme::user_key(std::size_t slot) const {
-  assert(slot < user_keys_.size());
+  if (slot >= user_keys_.size()) return std::nullopt;
   return user_keys_[slot];
 }
 
 void PufXorScheme::install_user_key(std::size_t slot, const Key64& user_key) {
-  assert(slot < user_keys_.size());
+  if (slot >= user_keys_.size()) return;
   user_keys_[slot] = user_key;
 }
 

@@ -31,11 +31,13 @@ class KeyManagementScheme {
   [[nodiscard]] virtual std::size_t slots() const = 0;
 
   /// Installs the configuration key for a slot (done by the design house
-  /// in the secured calibration environment).
+  /// in the secured calibration environment). An out-of-range slot is
+  /// ignored — schemes never index out of bounds.
   virtual void provision(std::size_t slot, const Key64& config_key) = 0;
 
   /// What the chip loads at power-on / mode switch: the programming bits
-  /// applied to the fabric, or nothing if the slot was never provisioned.
+  /// applied to the fabric, or nothing if the slot was never provisioned
+  /// or is out of range.
   [[nodiscard]] virtual std::optional<Key64> load(std::size_t slot) = 0;
 
   /// Non-volatile storage the scheme needs, in bits (overhead accounting).
@@ -78,7 +80,12 @@ class TamperProofLutScheme final : public KeyManagementScheme {
 class PufXorScheme final : public KeyManagementScheme {
  public:
   /// The PUF instance belongs to the chip; the scheme holds a reference.
-  PufXorScheme(ArbiterPuf& puf, std::size_t slots);
+  /// `regeneration_votes` regenerates the id key that many times at every
+  /// load and majority-votes the bits — error correction that keeps the
+  /// unwrapped key stable when PUF responses flip across power-ons
+  /// (1 = single regeneration, the historical behavior).
+  PufXorScheme(ArbiterPuf& puf, std::size_t slots,
+               unsigned regeneration_votes = 1);
 
   [[nodiscard]] std::string_view name() const override { return "puf-xor"; }
   [[nodiscard]] std::size_t slots() const override {
@@ -96,8 +103,12 @@ class PufXorScheme final : public KeyManagementScheme {
   void install_user_key(std::size_t slot, const Key64& user_key);
 
  private:
+  /// Regenerates the slot's id key, majority-voted per the scheme option.
+  [[nodiscard]] Key64 regenerate_id(std::size_t slot);
+
   ArbiterPuf* puf_;
   std::vector<std::optional<Key64>> user_keys_;
+  unsigned regeneration_votes_;
 };
 
 }  // namespace analock::lock

@@ -4,6 +4,18 @@
 
 namespace analock::lock {
 
+Key64 majority_vote_keys(std::span<const Key64> keys) {
+  std::uint64_t voted = 0;
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    std::size_t ones = 0;
+    for (const Key64& k : keys) {
+      if (k.bit(bit)) ++ones;
+    }
+    if (2 * ones > keys.size()) voted |= 1ULL << bit;
+  }
+  return Key64{voted};
+}
+
 ArbiterPuf::ArbiterPuf(const sim::Rng& chip_rng, double noise_sigma)
     : noise_sigma_(noise_sigma), noise_rng_(chip_rng.fork("puf-noise")) {
   sim::Rng weights_rng = chip_rng.fork("puf-weights");
@@ -25,9 +37,11 @@ double ArbiterPuf::delay_difference(std::uint64_t challenge) const {
 }
 
 bool ArbiterPuf::response(std::uint64_t challenge) {
-  return delay_difference(challenge) +
-             noise_rng_.gaussian(0.0, noise_sigma_) >
-         0.0;
+  const bool clean = delay_difference(challenge) +
+                         noise_rng_.gaussian(0.0, noise_sigma_) >
+                     0.0;
+  if (injector_ == nullptr) return clean;
+  return injector_->perturb_puf_response(clean);
 }
 
 bool ArbiterPuf::response_voted(std::uint64_t challenge, unsigned votes) {

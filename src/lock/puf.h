@@ -8,11 +8,18 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
+#include "fault/fault_injector.h"
 #include "lock/key64.h"
 #include "sim/rng.h"
 
 namespace analock::lock {
+
+/// Bitwise majority vote across regenerated keys (odd count recommended;
+/// ties break to 0). The error-correction primitive that keeps PUF-backed
+/// keys stable under injected response bit-flips.
+[[nodiscard]] Key64 majority_vote_keys(std::span<const Key64> keys);
 
 class ArbiterPuf {
  public:
@@ -42,10 +49,18 @@ class ArbiterPuf {
   Key64 identification_key(std::uint64_t domain,
                            unsigned votes = kDefaultVotes);
 
+  /// Attaches a fault campaign (not owned; nullptr detaches): raw
+  /// responses flip with the plan's puf_flip_prob, modeling instability
+  /// across power-ons and environmental corners.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   std::array<double, kStages + 1> weights_{};
   double noise_sigma_;
   sim::Rng noise_rng_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace analock::lock

@@ -1,6 +1,8 @@
 #include "lock/remote_activation.h"
 
 #include <array>
+#include <stdexcept>
+#include <vector>
 
 #include "lock/key_layout.h"
 
@@ -80,6 +82,13 @@ bool is_prime_u64(std::uint64_t n) {
 }
 
 std::uint64_t next_prime_u64(std::uint64_t n) {
+  // Bertrand's postulate guarantees a prime in (n, 2n), so keeping n
+  // below 2^63 keeps the search free of wraparound. Enforce the
+  // documented precondition instead of silently overflowing.
+  if (n >= (1ull << 63)) {
+    throw std::overflow_error(
+        "next_prime_u64: n must leave headroom below 2^63");
+  }
   if (n <= 2) return 2;
   if ((n & 1u) == 0) ++n;
   while (!is_prime_u64(n)) n += 2;
@@ -106,11 +115,24 @@ RsaKeyPair RsaKeyPair::derive(std::uint64_t seed) {
 }
 
 RemoteActivationChip::RemoteActivationChip(ArbiterPuf& puf,
-                                           std::size_t slots)
+                                           std::size_t slots,
+                                           unsigned derive_votes)
     : keys_(slots) {
   // The key-pair seed is a PUF-derived secret: re-derived at every
   // power-on, never stored. Domain 0xAC is reserved for activation.
-  keypair_ = RsaKeyPair::derive(puf.identification_key(0xAC).bits());
+  // Majority-voting the regenerated seed keeps the pair stable when PUF
+  // responses flip — a single wrong seed bit yields a different modulus
+  // and every outstanding ciphertext stops decrypting.
+  if (derive_votes <= 1) {
+    keypair_ = RsaKeyPair::derive(puf.identification_key(0xAC).bits());
+  } else {
+    std::vector<Key64> seeds;
+    seeds.reserve(derive_votes);
+    for (unsigned v = 0; v < derive_votes; ++v) {
+      seeds.push_back(puf.identification_key(0xAC));
+    }
+    keypair_ = RsaKeyPair::derive(majority_vote_keys(seeds).bits());
+  }
 }
 
 RsaPublicKey RemoteActivationChip::public_key() const {
@@ -130,6 +152,9 @@ WrappedKey wrap_key(const Key64& config_key, const RsaPublicKey& chip_key) {
 bool RemoteActivationChip::install_wrapped_key(std::size_t slot,
                                                const WrappedKey& wrapped) {
   if (slot >= keys_.size()) return false;
+  // One activation per slot: replaying a (possibly captured) ciphertext
+  // into a provisioned slot is rejected rather than overwriting.
+  if (keys_[slot].has_value()) return false;
   const std::uint64_t lo = mod_pow(wrapped.c_lo, keypair_.d, keypair_.n);
   const std::uint64_t hi = mod_pow(wrapped.c_hi, keypair_.d, keypair_.n);
   if ((lo >> 32) != kFrameTag || (hi >> 32) != kFrameTag) {

@@ -39,7 +39,8 @@ namespace analock::lock {
 /// Deterministic Miller-Rabin, exact for all 64-bit inputs.
 [[nodiscard]] bool is_prime_u64(std::uint64_t n);
 
-/// Next prime >= n (n must leave headroom below 2^63).
+/// Next prime >= n. Precondition (enforced): n must leave headroom below
+/// 2^63 so the search cannot wrap; throws std::overflow_error otherwise.
 [[nodiscard]] std::uint64_t next_prime_u64(std::uint64_t n);
 
 /// RSA key material over a ~62-bit modulus.
@@ -71,14 +72,21 @@ struct WrappedKey {
 /// interface so a LockedReceiver can power on from it.
 class RemoteActivationChip final : public KeyManagementScheme {
  public:
-  RemoteActivationChip(ArbiterPuf& puf, std::size_t slots);
+  /// `derive_votes > 1` regenerates the PUF-derived keypair seed that
+  /// many times and majority-votes the bits, so the re-derived pair stays
+  /// stable when PUF responses flip across power-ons.
+  RemoteActivationChip(ArbiterPuf& puf, std::size_t slots,
+                       unsigned derive_votes = 1);
 
   /// What the chip prints on the tester at first power-on.
   [[nodiscard]] RsaPublicKey public_key() const;
 
   /// Installs a ciphertext received from the design house; decrypts
   /// internally. Returns false if the plaintext fails the framing check
-  /// (wrong chip / corrupted message).
+  /// (wrong chip / corrupted message), the slot is out of range, or the
+  /// slot is already provisioned (replayed activations are rejected —
+  /// retransmit handling with session semantics lives in
+  /// RemoteActivationChipEndpoint).
   bool install_wrapped_key(std::size_t slot, const WrappedKey& wrapped);
 
   // KeyManagementScheme interface.

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "calib/calibrator.h"
+#include "fault/fault_injector.h"
 #include "lock/evaluator.h"
 #include "rf/standards.h"
 #include "sim/process.h"
@@ -112,6 +113,66 @@ TEST(Calibrator, KeyFromChipADoesNotCalibrateChipB) {
   const auto own = ev_b.evaluate(calibrated_chips()[1].key);
   EXPECT_GT(own.snr_receiver_db, cross.snr_receiver_db)
       << "chip B must prefer its own key";
+}
+
+TEST(Calibrator, HardenedCleanRunProducesTheSameKey) {
+  // With no fault campaign attached, hardening must not change the
+  // calibration outcome: median votes over a deterministic oracle are a
+  // no-op and the retry loops run their bodies exactly once.
+  sim::Rng master(909);
+  const auto pv = sim::ProcessVariation::monte_carlo(master, 0);
+  Calibrator::Options opt;
+  opt.tune_vglna_segments = false;
+  Calibrator plain(rf::standard_bluetooth(), pv, master.fork("bt"), opt);
+  const auto baseline = plain.run();
+
+  opt.hardening.enabled = true;
+  Calibrator hardened(rf::standard_bluetooth(), pv, master.fork("bt"), opt);
+  const auto r = hardened.run();
+  EXPECT_EQ(r.key, baseline.key);
+  EXPECT_EQ(r.success, baseline.success);
+  EXPECT_EQ(r.failure, calib::FailureReason::kNone);
+  EXPECT_EQ(r.total_retries, 0u);
+  EXPECT_EQ(r.faults_injected, 0u);
+}
+
+TEST(Calibrator, CheckpointResumeReproducesKeyWithFewerMeasurements) {
+  sim::Rng master(909);
+  const auto pv = sim::ProcessVariation::monte_carlo(master, 0);
+  Calibrator::Options opt;
+  opt.tune_vglna_segments = false;
+  Calibrator first(rf::standard_bluetooth(), pv, master.fork("bt"), opt);
+  const auto full = first.run();
+  ASSERT_TRUE(full.checkpoint.tank_done);
+
+  // A later insertion resumes at step 8 from the recorded tank/Q codes.
+  Calibrator second(rf::standard_bluetooth(), pv, master.fork("bt"), opt);
+  const auto resumed = second.run(full.checkpoint);
+  EXPECT_EQ(resumed.key, full.key);
+  EXPECT_EQ(resumed.success, full.success);
+  EXPECT_DOUBLE_EQ(resumed.tank_freq_err_hz, full.tank_freq_err_hz);
+  EXPECT_LT(resumed.total_measurements, full.total_measurements);
+}
+
+TEST(Calibrator, DropoutCampaignWithoutHardeningReportsSpecNotMet) {
+  // Every oracle reading is a -200 dB dropout: the unhardened run cannot
+  // pass final characterization and must say why it failed.
+  fault::FaultPlan plan;
+  plan.seed = 4;
+  plan.meas_dropout_prob = 1.0;
+  fault::FaultInjector injector(plan);
+  sim::Rng master(909);
+  const auto pv = sim::ProcessVariation::monte_carlo(master, 0);
+  Calibrator::Options opt;
+  opt.tune_vglna_segments = false;
+  opt.refine_after_vglna = false;
+  opt.bias.passes = 1;
+  Calibrator calibrator(rf::standard_bluetooth(), pv, master.fork("bt"), opt);
+  calibrator.set_fault_injector(&injector);
+  const auto r = calibrator.run();
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure, calib::FailureReason::kSpecNotMet);
+  EXPECT_GT(r.faults_injected, 0u);
 }
 
 TEST(Calibrator, WorksForBluetoothStandard) {

@@ -1,6 +1,7 @@
 // Unit tests for the key-management schemes (paper Fig. 3).
 #include <gtest/gtest.h>
 
+#include "fault/fault_injector.h"
 #include "lock/key_manager.h"
 #include "sim/rng.h"
 
@@ -111,6 +112,51 @@ TEST(PufXorScheme, RepeatedLoadsAgree) {
     ASSERT_TRUE(loaded.has_value());
     EXPECT_EQ(*loaded, config) << "power-on " << i;
   }
+}
+
+TEST(LutScheme, OutOfRangeSlotIsSafe) {
+  TamperProofLutScheme lut(2);
+  lut.provision(2, Key64{1});  // one past the end: ignored, no OOB write
+  lut.provision(99, Key64{2});
+  EXPECT_FALSE(lut.load(2).has_value());
+  EXPECT_FALSE(lut.load(99).has_value());
+  sim::Rng rng(1);
+  lut.poison(99, rng);  // must not crash or write anywhere
+  EXPECT_FALSE(lut.load(0).has_value());
+  EXPECT_FALSE(lut.load(1).has_value());
+}
+
+TEST(PufXorScheme, OutOfRangeSlotIsSafe) {
+  ArbiterPuf puf(sim::Rng(500));
+  PufXorScheme scheme(puf, 2);
+  scheme.provision(2, Key64{1});
+  scheme.install_user_key(99, Key64{2});
+  EXPECT_FALSE(scheme.load(2).has_value());
+  EXPECT_FALSE(scheme.load(99).has_value());
+  EXPECT_FALSE(scheme.user_key(2).has_value());
+  EXPECT_FALSE(scheme.user_key(99).has_value());
+}
+
+TEST(PufXorScheme, VotedRegenerationSurvivesInjectedPufFlips) {
+  // Error correction for PUF instability across power-ons: regenerate the
+  // id key several times and majority-vote the bits. Provision cleanly,
+  // then attach a fault campaign that flips raw responses.
+  ArbiterPuf puf(sim::Rng(500));
+  PufXorScheme scheme(puf, 1, /*regeneration_votes=*/5);
+  const Key64 config{0x0F0F0F0F12345678ull};
+  scheme.provision(0, config);
+
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.puf_flip_prob = 0.02;
+  fault::FaultInjector injector(plan);
+  puf.set_fault_injector(&injector);
+  for (int power_on = 0; power_on < 10; ++power_on) {
+    const auto loaded = scheme.load(0);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, config) << "power-on " << power_on;
+  }
+  EXPECT_GT(injector.counts().puf_flips, 0u);
 }
 
 TEST(Schemes, NamesDiffer) {

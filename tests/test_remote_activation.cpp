@@ -1,6 +1,9 @@
 // Unit tests for the EPIC-style remote activation scheme (Sec. IV.B.4).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "fault/fault_injector.h"
 #include "lock/locked_receiver.h"
 #include "lock/remote_activation.h"
 #include "rf/standards.h"
@@ -37,6 +40,15 @@ TEST(Primality, NextPrime) {
   EXPECT_EQ(next_prime_u64(14), 17u);
   EXPECT_EQ(next_prime_u64(17), 17u);
   EXPECT_TRUE(is_prime_u64(next_prime_u64(1ull << 31)));
+}
+
+TEST(Primality, NextPrimeEnforcesHeadroomPrecondition) {
+  // The documented precondition "n must leave headroom below 2^63" is an
+  // explicit check, not silent wraparound in the search loop.
+  EXPECT_THROW((void)next_prime_u64(1ull << 63), std::overflow_error);
+  EXPECT_THROW((void)next_prime_u64(~0ull), std::overflow_error);
+  // Just under the limit still works.
+  EXPECT_TRUE(is_prime_u64(next_prime_u64((1ull << 63) - 1024)));
 }
 
 TEST(Rsa, DeriveIsDeterministic) {
@@ -103,11 +115,42 @@ TEST(RemoteActivation, KeyPairStableAcrossPowerOns) {
 }
 
 TEST(RemoteActivation, CorruptedCiphertextRejected) {
+  // Either half of the ciphertext failing its framing check rejects the
+  // whole activation — a channel bit-flip cannot install a partial key.
   ArbiterPuf puf(sim::Rng(42));
   RemoteActivationChip chip(puf, 1);
-  auto wrapped = wrap_key(Key64{123}, chip.public_key());
-  wrapped.c_lo ^= 1;
+  auto lo_hit = wrap_key(Key64{123}, chip.public_key());
+  lo_hit.c_lo ^= 1;
+  EXPECT_FALSE(chip.install_wrapped_key(0, lo_hit));
+  auto hi_hit = wrap_key(Key64{123}, chip.public_key());
+  hi_hit.c_hi ^= 1ull << 17;
+  EXPECT_FALSE(chip.install_wrapped_key(0, hi_hit));
+  EXPECT_FALSE(chip.load(0).has_value());
+}
+
+TEST(RemoteActivation, ReplayIntoProvisionedSlotRejected) {
+  // One activation per slot: replaying a captured ciphertext (even the
+  // original, valid one) against an already-provisioned slot fails and
+  // leaves the installed key untouched.
+  ArbiterPuf puf(sim::Rng(42));
+  RemoteActivationChip chip(puf, 1);
+  const Key64 config{0x1e2bb271ed7d914bull};
+  const auto wrapped = wrap_key(config, chip.public_key());
+  ASSERT_TRUE(chip.install_wrapped_key(0, wrapped));
   EXPECT_FALSE(chip.install_wrapped_key(0, wrapped));
+  const auto other = wrap_key(Key64{0x5555AAAA5555AAAAull}, chip.public_key());
+  EXPECT_FALSE(chip.install_wrapped_key(0, other));
+  EXPECT_EQ(*chip.load(0), config);
+}
+
+TEST(RemoteActivation, OutOfRangeSlotRejected) {
+  ArbiterPuf puf(sim::Rng(42));
+  RemoteActivationChip chip(puf, 2);
+  const auto wrapped = wrap_key(Key64{123}, chip.public_key());
+  EXPECT_FALSE(chip.install_wrapped_key(2, wrapped));
+  EXPECT_FALSE(chip.install_wrapped_key(99, wrapped));
+  EXPECT_FALSE(chip.load(2).has_value());
+  EXPECT_FALSE(chip.load(99).has_value());
 }
 
 TEST(RemoteActivation, PowersOnALockedReceiver) {

@@ -15,8 +15,15 @@ artifact is well-formed:
     best_score and non-decreasing query counts (the convergence curve
     the attack benches are meant to record); a drop in the query count
     marks the start of a new run of the same attack and resets the curve.
+    Benches that run no attacks (e.g. the fault-resilience sweep) pass
+    --no-convergence to skip this requirement; convergence events that
+    do appear are still validated.
 
-Usage: check_jsonl.py <bench-binary> <artifact-name> [trials]
+A missing artifact, a zero-byte artifact, or an artifact with no records
+all fail with a non-zero exit code; parse errors report the offending
+line number.
+
+Usage: check_jsonl.py [--no-convergence] <bench-binary> <artifact-name> [trials]
 Exit code 0 = artifact valid.
 """
 
@@ -58,7 +65,11 @@ def validate_line(lineno: int, line: str) -> dict:
     return record
 
 
-def validate_artifact(path: str) -> None:
+def validate_artifact(path: str, require_convergence: bool = True) -> None:
+    if not os.path.exists(path):
+        fail(f"artifact missing: {path}")
+    if os.path.getsize(path) == 0:
+        fail(f"artifact is empty (0 bytes): {path}")
     records = []
     with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
@@ -101,7 +112,7 @@ def validate_artifact(path: str) -> None:
             if not isinstance(score, (int, float)):
                 fail(f"convergence event with non-numeric best_score: {attrs!r}")
             curves.setdefault(attack, []).append((query, float(score)))
-    if not curves:
+    if not curves and require_convergence:
         fail("no attack.convergence events in the artifact")
     for attack, points in curves.items():
         for (q0, s0), (q1, s1) in zip(points, points[1:]):
@@ -118,11 +129,17 @@ def validate_artifact(path: str) -> None:
 
 
 def main() -> None:
-    if len(sys.argv) not in (3, 4):
-        fail(f"usage: {sys.argv[0]} <bench-binary> <artifact-name> [trials]")
-    bench = os.path.abspath(sys.argv[1])
-    artifact_name = sys.argv[2]
-    trials = sys.argv[3] if len(sys.argv) == 4 else "40"
+    argv = sys.argv[1:]
+    require_convergence = True
+    if argv and argv[0] == "--no-convergence":
+        require_convergence = False
+        argv = argv[1:]
+    if len(argv) not in (2, 3):
+        fail(f"usage: {sys.argv[0]} [--no-convergence] <bench-binary> "
+             f"<artifact-name> [trials]")
+    bench = os.path.abspath(argv[0])
+    artifact_name = argv[1]
+    trials = argv[2] if len(argv) == 3 else "40"
 
     with tempfile.TemporaryDirectory(prefix="analock_obs_") as scratch:
         env = dict(os.environ)
@@ -139,7 +156,7 @@ def main() -> None:
         if not os.path.exists(artifact):
             fail(f"bench did not write {artifact_name} "
                  f"(dir contains: {os.listdir(scratch)})")
-        validate_artifact(artifact)
+        validate_artifact(artifact, require_convergence)
 
 
 if __name__ == "__main__":
