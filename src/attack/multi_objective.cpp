@@ -83,6 +83,8 @@ MultiObjectiveResult CoordinateDescentAttack::run_from(
       for (std::uint64_t v = 0; v < 4 && result.trials < options.max_trials;
            ++v) {
         const lock::Key64 cand = key.with_field(L::kTestMux, v);
+        // Attacker-side hypothesis keys, no secret operand.
+        // analock-lint: allow(secret-compare)
         if (cand == key) continue;
         const double snr = measure(cand);
         if (snr > best) {

@@ -56,6 +56,13 @@ class Key64 {
   /// Parses "0x..."/plain hex; returns false on malformed input.
   static bool from_hex(std::string_view text, Key64& out);
 
+  /// Early-exit word comparison — NON-secret uses only (attack-side
+  /// candidate keys, test assertions). Any comparison where an operand is
+  /// real secret material (provisioned configuration keys, PUF id keys,
+  /// decrypted activation plaintext) must go through analock::ct_equal
+  /// (lock/ct_equal.h); the analock-lint `secret-compare` rule flags
+  /// violations and tools/analock_lint/allowlist.conf lists the vetted
+  /// non-secret call sites.
   friend constexpr bool operator==(const Key64&, const Key64&) = default;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "lock/ct_equal.h"
 #include "lock/key_layout.h"
 #include "obs/trace.h"
 
@@ -61,7 +62,9 @@ Key64 PufXorScheme::regenerate_id(std::size_t slot) {
   }
   const Key64 voted = majority_vote_keys(regens);
   for (const Key64& r : regens) {
-    if (r != voted) {
+    // Both operands are live id-key material: constant-time comparison
+    // so regeneration agreement doesn't leak through timing.
+    if (!analock::ct_equal(r, voted)) {
       obs::count("recover.puf_majority_corrections");
       obs::event("recover.puf_majority",
                  {{"slot", static_cast<std::uint64_t>(slot)},

@@ -4,13 +4,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "lock/ct_equal.h"
 #include "lock/key_layout.h"
 
 namespace analock::lock {
 
 namespace {
 
-using u128 = unsigned __int128;
+// __extension__ keeps -Wpedantic quiet about the GNU 128-bit type; the
+// modular arithmetic below needs the full 64x64 product.
+__extension__ typedef unsigned __int128 u128;
 
 std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
   return static_cast<std::uint64_t>(static_cast<u128>(a) * b % m);
@@ -157,7 +160,11 @@ bool RemoteActivationChip::install_wrapped_key(std::size_t slot,
   if (keys_[slot].has_value()) return false;
   const std::uint64_t lo = mod_pow(wrapped.c_lo, keypair_.d, keypair_.n);
   const std::uint64_t hi = mod_pow(wrapped.c_hi, keypair_.d, keypair_.n);
-  if ((lo >> 32) != kFrameTag || (hi >> 32) != kFrameTag) {
+  // The decrypted halves are secret plaintext: check both frame tags in
+  // constant time, with no early exit between the two halves.
+  const bool lo_ok = analock::ct_equal(lo >> 32, kFrameTag);
+  const bool hi_ok = analock::ct_equal(hi >> 32, kFrameTag);
+  if (!(lo_ok && hi_ok)) {
     return false;  // wrong chip or corrupted ciphertext
   }
   keys_[slot] =

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "fault/crc32.h"
+#include "lock/ct_equal.h"
 #include "obs/trace.h"
 
 namespace analock::lock {
@@ -43,8 +44,10 @@ void append_crc(std::vector<std::uint8_t>& frame) {
 }
 
 bool crc_valid(std::span<const std::uint8_t> frame) {
+  // Frames carry wrapped key material; compare the integrity residue in
+  // constant time so verification latency is payload-independent.
   const std::size_t body = frame.size() - 4;
-  return fault::crc32(frame.first(body)) == get_u32(frame, body);
+  return ct_equal(fault::crc32(frame.first(body)), get_u32(frame, body));
 }
 
 std::uint64_t env_u64_or(const char* name, std::uint64_t fallback) {

@@ -17,11 +17,25 @@ struct BitRange {
   unsigned lsb = 0;
   unsigned width = 1;
 
+  /// A range is well-formed when it is non-empty and fits entirely inside
+  /// the 64-bit word. Everything below asserts this: `lsb + width > 64`
+  /// would silently shift field bits off the top, and `lsb >= 64` is
+  /// outright shift UB. analock-lint's `layout-range` rule proves this
+  /// statically for literal ranges; these asserts cover ranges built at
+  /// runtime where the linter cannot see the values.
+  [[nodiscard]] constexpr bool valid() const {
+    return width >= 1 && lsb < 64 && width <= 64 - lsb;
+  }
+
   [[nodiscard]] constexpr std::uint64_t mask() const {
+    assert(valid() && "BitRange out of the 64-bit word");
+    // The width == 64 branch avoids the UB of a 64-bit shift by 64
+    // (valid() already pins lsb to 0 in that case).
     return width >= 64 ? ~std::uint64_t{0}
                        : ((std::uint64_t{1} << width) - 1) << lsb;
   }
   [[nodiscard]] constexpr std::uint64_t max_value() const {
+    assert(valid() && "BitRange out of the 64-bit word");
     return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
   }
   [[nodiscard]] constexpr bool overlaps(const BitRange& other) const {
@@ -46,12 +60,14 @@ struct BitRange {
 
 /// Reads a single bit.
 [[nodiscard]] constexpr bool extract_bit(std::uint64_t word, unsigned bit) {
+  assert(bit < 64 && "bit index out of the 64-bit word");
   return ((word >> bit) & 1u) != 0;
 }
 
 /// Returns `word` with one bit set or cleared.
 [[nodiscard]] constexpr std::uint64_t insert_bit(std::uint64_t word,
                                                  unsigned bit, bool value) {
+  assert(bit < 64 && "bit index out of the 64-bit word");
   const std::uint64_t mask = std::uint64_t{1} << bit;
   return value ? (word | mask) : (word & ~mask);
 }

@@ -1,0 +1,48 @@
+// Clean fixture: everything here is idiomatic analock code that must
+// pass every rule. A linter change that flags any line of this file is
+// a regression. Linter input only — never compiled or linked.
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct BitRange {
+  unsigned lsb = 0;
+  unsigned width = 1;
+};
+
+// A well-formed layout: fields and mode bits tile all 64 bits.
+struct GoodLayout {
+  static constexpr BitRange kGain{0, 16};
+  static constexpr BitRange kCoarse{16, 16};
+  static constexpr BitRange kFine{32, 16};
+  static constexpr BitRange kBias{48, 14};
+  static constexpr unsigned kLoopEnable = 62;
+  static constexpr unsigned kClockEnable = 63;
+
+  static constexpr unsigned kKeyBits = 64;
+};
+
+// Non-secret comparisons and ordered containers are fine.
+bool slot_ready(std::size_t slot, std::size_t limit) { return slot != limit; }
+
+double sum_metrics(const std::map<std::string, double>& metrics) {
+  double total = 0.0;
+  for (const auto& [name, value] : metrics) total += value;
+  return total;
+}
+
+// Wide shifts through an explicitly 64-bit operand are the sanctioned
+// pattern (this is what sim::BitRange::mask does).
+std::uint64_t top_bit_mask(unsigned bit) { return std::uint64_t{1} << bit; }
+std::uint64_t low_mask() { return (1ull << 40) - 1; }
+
+// Logging non-secret run facts is what obs is for.
+void report_trials(std::uint64_t trials, double snr_db) {
+  std::printf("trials=%llu snr=%.2f dB\n",
+              static_cast<unsigned long long>(trials), snr_db);
+}
+
+}  // namespace fixture

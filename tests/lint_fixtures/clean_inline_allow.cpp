@@ -1,0 +1,23 @@
+// Clean fixture: real violations neutralized by inline suppressions —
+// the linter must honor `analock-lint: allow(...)` on the same line and
+// on the line directly above. Linter input only — never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+struct Key64 {
+  std::uint64_t word = 0;
+};
+
+bool attacker_side_compare(const Key64& candidate_config_key,
+                           const Key64& probe) {
+  // Both operands are the attacker's own hypotheses; nothing secret.
+  // analock-lint: allow(secret-compare)
+  return candidate_config_key.word == probe.word;
+}
+
+bool same_line_allow(const Key64& candidate_config_key, const Key64& probe) {
+  return candidate_config_key.word != probe.word;  // analock-lint: allow(secret-compare)
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Seeded violation: ambient entropy sources in simulation code.
+// This file is linter input only — it is never compiled or linked.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned ambient_device() {
+  std::random_device entropy;  // expect: determinism-rng
+  return entropy();
+}
+
+int libc_rng() {
+  return rand();  // expect: determinism-rng
+}
+
+void libc_seed() {
+  srand(42);  // expect: determinism-rng
+}
+
+long long wall_clock_seed() {
+  return static_cast<long long>(time(nullptr));  // expect: determinism-rng
+}
+
+std::mt19937 default_engine() {
+  return std::mt19937{};  // expect: determinism-rng
+}
+
+}  // namespace fixture

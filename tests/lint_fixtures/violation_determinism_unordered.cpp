@@ -1,0 +1,17 @@
+// Seeded violation: unordered containers whose iteration order differs
+// run to run. This file is linter input only — never compiled.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double sum_metrics(const std::unordered_map<std::string, double>& m) {  // expect: determinism-unordered
+  double total = 0.0;
+  for (const auto& [name, value] : m) total += value;  // order-dependent
+  return total;
+}
+
+std::unordered_set<int> visited_slots;  // expect: determinism-unordered
+
+}  // namespace fixture

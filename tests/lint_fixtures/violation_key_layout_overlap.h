@@ -1,0 +1,19 @@
+// Seeded violation: two layout fields share key bits.
+// This file is linter input only — it is never compiled or included.
+#pragma once
+
+namespace fixture {
+
+struct BitRange {
+  unsigned lsb = 0;
+  unsigned width = 1;
+};
+
+// Widths sum to 64, but kMid starts inside kLow: writing one field
+// corrupts the other.
+struct OverlapLayout {
+  static constexpr BitRange kLow{0, 32};
+  static constexpr BitRange kMid{16, 32};  // expect: layout-overlap
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Seeded violation: a layout field runs past bit 63.
+// This file is linter input only — it is never compiled or included.
+#pragma once
+
+namespace fixture {
+
+struct BitRange {
+  unsigned lsb = 0;
+  unsigned width = 1;
+};
+
+// kTail claims bits [60, 68): four of its bits do not exist, and the
+// mask computation shifts past the word width.
+struct RangeLayout {
+  static constexpr BitRange kBody{0, 56};
+  static constexpr BitRange kTail{60, 8};  // expect: layout-range
+};
+
+}  // namespace fixture

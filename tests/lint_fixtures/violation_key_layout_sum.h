@@ -1,0 +1,25 @@
+// Seeded violation: layout fields do not tile the 64-bit key word.
+// This file is linter input only — it is never compiled or included.
+#pragma once
+
+namespace fixture {
+
+struct BitRange {
+  unsigned lsb = 0;
+  unsigned width = 1;
+};
+
+// 16 + 16 + 16 + 8 field bits + 2 mode bits = 58 of 64: six key bits are
+// unaccounted for, so encode/decode silently drop them.
+struct ShortLayout {
+  static constexpr BitRange kGain{0, 16};  // expect: layout-sum
+  static constexpr BitRange kCoarse{16, 16};
+  static constexpr BitRange kFine{32, 16};
+  static constexpr BitRange kBias{48, 8};
+  static constexpr unsigned kLoopEnable = 56;
+  static constexpr unsigned kClockEnable = 57;
+
+  static constexpr unsigned kKeyBits = 64;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Seeded violation: early-exit comparison on key material.
+// This file is linter input only — it is never compiled or linked.
+#include <cstdint>
+#include <cstring>
+
+namespace fixture {
+
+struct Key64 {
+  std::uint64_t word = 0;
+  std::uint64_t bits() const { return word; }
+};
+
+bool oracle_accepts(const Key64& stored_config_key, const Key64& probe) {
+  // Early-exit equality: latency reveals the matching prefix length.
+  return stored_config_key == probe;  // expect: secret-compare
+}
+
+bool oracle_rejects(const Key64& user_key_slot, const Key64& probe) {
+  return user_key_slot != probe;  // expect: secret-compare
+}
+
+bool byte_oracle(const Key64& wrapped_key, const Key64& probe) {
+  return std::memcmp(&wrapped_key, &probe, sizeof probe) == 0;  // expect: secret-compare
+}
+
+}  // namespace fixture

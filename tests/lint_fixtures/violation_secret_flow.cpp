@@ -1,0 +1,27 @@
+// Seeded violation: key material flowing into observability sinks.
+// This file is linter input only — it is never compiled or linked.
+#include <cstdint>
+#include <iostream>
+
+namespace fixture {
+
+struct Key64 {
+  std::uint64_t bits() const { return 0; }
+  const char* to_hex() const { return ""; }
+};
+
+void leak_into_obs_event(const Key64& config_key) {
+  // The JSONL artifact would carry the secret word verbatim.
+  obs::event("calib.done", {{"key", config_key.to_hex()}});  // expect: secret-flow
+}
+
+void leak_into_metric(const Key64& provisioned) {
+  obs::set_gauge("lock.word",  // expect: secret-flow
+                 static_cast<double>(provisioned.bits()));
+}
+
+void leak_into_stream(const Key64& id_key) {
+  std::cout << "unwrapped id key: " << id_key.bits() << "\n";  // expect: secret-flow
+}
+
+}  // namespace fixture

@@ -1,0 +1,736 @@
+#!/usr/bin/env python3
+"""analock-lint: domain-specific static analysis for the analock tree.
+
+The whole defense reproduced here rests on two implementation invariants
+that ordinary compilers never check:
+
+  1. SECRET HYGIENE -- the 64-bit configuration word (Key64), PUF id
+     keys, and wrapped/decrypted activation material must never flow
+     into observability sinks (obs:: events, metrics, JSONL, stream
+     output), and must never be compared with an early-exit comparison
+     (`==`, `!=`, `memcmp`); secret comparisons go through
+     analock::ct_equal (src/lock/ct_equal.h).
+  2. DETERMINISM -- every stochastic element draws from the seeded
+     sim::Rng streams. Ambient entropy (rand(), std::random_device,
+     time-seeded engines, wall-clock reads) and iteration-order-
+     dependent unordered containers silently break the reproducibility
+     contract of the seeded FaultPlan / calibration pipeline.
+
+plus a third family that cross-checks the key-layout tables:
+
+  3. LAYOUT CONSISTENCY -- BitRange fields parsed out of key_layout-
+     style headers must fit the 64-bit word, be pairwise disjoint, and
+     sum to exactly 64 bits; literal shifts must not overflow their
+     operand width.
+
+Rules
+-----
+  secret-flow           key material reaches a logging/metrics sink
+  secret-compare        ==/!=/memcmp on key material (use ct_equal)
+  determinism-rng       ambient RNG source (rand, random_device, ...)
+  determinism-clock     ambient wall-clock read (steady_clock::now, ...)
+  determinism-unordered std::unordered_* container (iteration order)
+  layout-range          BitRange falls outside the 64-bit word
+  layout-overlap        two layout fields overlap
+  layout-sum            layout field widths do not sum to 64
+  shift-overflow        literal shift exceeds the operand width
+
+Suppression
+-----------
+Inline, scoped to the same line or the line immediately below:
+
+    // analock-lint: allow(secret-compare)
+    if (cand == key) continue;        // attacker-side material
+
+or path-scoped entries in tools/analock_lint/allowlist.conf:
+
+    # <rule-or-*> <repo-relative-glob>   [rationale...]
+    secret-flow examples/*              demonstrators print the key
+
+Usage
+-----
+    analock_lint.py --root REPO [--allowlist FILE] [PATHS...]
+    analock_lint.py --self-test FIXTURE_DIR
+
+Exit status: 0 clean, 1 findings (or failed self-test), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+RULES = (
+    "secret-flow",
+    "secret-compare",
+    "determinism-rng",
+    "determinism-clock",
+    "determinism-unordered",
+    "layout-range",
+    "layout-overlap",
+    "layout-sum",
+    "shift-overflow",
+)
+
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".h", ".hpp"}
+EXCLUDED_DIR_NAMES = {"build", "lint_fixtures", ".git"}
+
+# ---------------------------------------------------------------------------
+# Findings and suppression
+
+
+@dataclass
+class Finding:
+    path: Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Allowlist:
+    """Path-scoped rule suppressions loaded from allowlist.conf."""
+
+    entries: list[tuple[str, str]] = field(default_factory=list)
+
+    @staticmethod
+    def load(path: Path) -> "Allowlist":
+        allow = Allowlist()
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}: malformed allowlist line: {raw!r}")
+            rule, glob = parts[0], parts[1]
+            if rule != "*" and rule not in RULES:
+                raise ValueError(f"{path}: unknown rule {rule!r} in: {raw!r}")
+            allow.entries.append((rule, glob))
+        return allow
+
+    def permits(self, rule: str, rel_path: str) -> bool:
+        posix = rel_path.replace("\\", "/")
+        for entry_rule, glob in self.entries:
+            if entry_rule in ("*", rule) and fnmatch.fnmatch(posix, glob):
+                return True
+        return False
+
+
+INLINE_ALLOW_RE = re.compile(r"analock-lint:\s*allow\(([^)]*)\)")
+
+
+def inline_allows(original_lines: list[str]) -> dict[int, set[str]]:
+    """Maps 1-based line numbers to the rules suppressed on that line.
+
+    An allow comment covers its own line and the line directly below, so
+    a comment-only line shields the statement it annotates.
+    """
+    allows: dict[int, set[str]] = {}
+    for i, text in enumerate(original_lines, start=1):
+        m = INLINE_ALLOW_RE.search(text)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        for covered in (i, i + 1):
+            allows.setdefault(covered, set()).update(rules)
+    return allows
+
+
+# ---------------------------------------------------------------------------
+# Lexing helpers: blank out comments and string/char literals while keeping
+# the text the same length, so offsets and line numbers stay aligned.
+
+
+def strip_code(text: str) -> str:
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c == "'" and i > 0 and text[i - 1].isalnum() and i + 1 < n and (
+            text[i + 1].isalnum()
+        ):
+            # C++14 digit separator (0xA5A5'5A5A), not a char literal.
+            i += 1
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    if text[i + 1] != "\n":
+                        out[i + 1] = " "
+                    i += 2
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(offset: int, line_starts: list[int]) -> int:
+    """1-based line number of a character offset (binary search)."""
+    lo, hi = 0, len(line_starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if line_starts[mid] <= offset:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def balanced_args(text: str, open_paren: int) -> tuple[str, int]:
+    """Returns (argument text, end offset) for the call whose '(' is at
+    open_paren in comment/string-stripped text."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i], i
+    return text[open_paren + 1 :], len(text)
+
+
+# ---------------------------------------------------------------------------
+# Rule family 1: secret hygiene
+
+# Identifiers that carry key material. Deliberately name-based: the repo's
+# own naming convention is the taint oracle (config_key, id_key, wrapped
+# keys, ...), plus the Key64 accessors that expose raw bits anywhere.
+SECRET_ID_RE = re.compile(
+    r"\b\w*(?:secret|config_key|user_key|id_key|wrapped_key|chip_key|"
+    r"private_key|true_key|keypair|puf_key|key_bits|key_word)\w*\b"
+)
+SECRET_ACCESSOR_RE = re.compile(r"(?:\.|->)\s*(?:bits|to_hex)\s*\(")
+KEY_TYPE_RE = re.compile(r"\bKey64\b|\bWrappedKey\b")
+
+
+def taint_in(expr: str) -> str | None:
+    m = SECRET_ID_RE.search(expr)
+    if m:
+        return m.group(0)
+    m = SECRET_ACCESSOR_RE.search(expr)
+    if m:
+        return m.group(0).replace(" ", "")
+    return None
+
+
+SINK_CALL_RE = re.compile(
+    r"\b(?:obs\s*::\s*(?:event|count|set_gauge|observe)|"
+    r"(?:std\s*::\s*)?(?:printf|fprintf|snprintf|sprintf)|"
+    r"\w+(?:\.|->)emit)\s*\("
+)
+
+STREAM_TARGET_RE = re.compile(
+    r"\b(?:std\s*::\s*(?:cout|cerr|clog)|o?stream\b\s*\w*|"
+    r"ostringstream\s*\w*|stringstream\s*\w*)[^;]{0,160}?<<"
+)
+
+
+def check_secret_flow(stripped: str, line_starts: list[int], path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for m in SINK_CALL_RE.finditer(stripped):
+        args, _ = balanced_args(stripped, m.end() - 1)
+        tainted = taint_in(args)
+        if tainted:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(m.start(), line_starts),
+                    "secret-flow",
+                    f"key material ({tainted}) passed to sink "
+                    f"{m.group(0).rstrip('(').strip()}; secrets must not "
+                    "reach obs/log output",
+                )
+            )
+    # Stream inserts: scan statement-wise so chained << across lines are
+    # seen whole.
+    for stmt, offset in statements(stripped):
+        if "<<" not in stmt:
+            continue
+        if not STREAM_TARGET_RE.search(stmt):
+            continue
+        tainted = taint_in(stmt)
+        if tainted:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(offset, line_starts),
+                    "secret-flow",
+                    f"key material ({tainted}) inserted into an output "
+                    "stream; secrets must not reach obs/log output",
+                )
+            )
+    return findings
+
+
+def statements(stripped: str):
+    """Yields (statement text, start offset) split on top-level ';' and '{'/'}'."""
+    start = 0
+    depth = 0
+    for i, c in enumerate(stripped):
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth = max(0, depth - 1)
+        elif c in ";{}" and depth == 0:
+            stmt = stripped[start:i]
+            if stmt.strip():
+                yield stmt, start + (len(stmt) - len(stmt.lstrip()))
+            start = i + 1
+    tail = stripped[start:]
+    if tail.strip():
+        yield tail, start + (len(tail) - len(tail.lstrip()))
+
+
+CMP_RE = re.compile(r"(?<![<>=!&|+\-*/%^])(==|!=)(?!=)")
+OPERAND_TAIL_RE = re.compile(r"[\w\)\]\.\>:]+\s*$")
+OPERAND_HEAD_RE = re.compile(r"^\s*[!~]*[\w\.\(:]+(?:(?:\.|->|::)\w+|\(\)|\[[^\]]{0,40}\])*")
+MEMCMP_RE = re.compile(r"\bmemcmp\s*\(")
+
+
+def check_secret_compare(stripped: str, line_starts: list[int], path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for m in CMP_RE.finditer(stripped):
+        left_window = stripped[max(0, m.start() - 120) : m.start()]
+        right_window = stripped[m.end() : m.end() + 120]
+        left = OPERAND_TAIL_RE.search(left_window)
+        right = OPERAND_HEAD_RE.search(right_window)
+        operand_text = (left.group(0) if left else "") + " " + (
+            right.group(0) if right else ""
+        )
+        tainted = taint_in(operand_text)
+        if tainted:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(m.start(), line_starts),
+                    "secret-compare",
+                    f"early-exit {m.group(1)} on key material ({tainted}); "
+                    "use analock::ct_equal (lock/ct_equal.h)",
+                )
+            )
+    for m in MEMCMP_RE.finditer(stripped):
+        args, _ = balanced_args(stripped, m.end() - 1)
+        tainted = taint_in(args) or (KEY_TYPE_RE.search(args) and "Key64")
+        if tainted:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(m.start(), line_starts),
+                    "secret-compare",
+                    f"memcmp on key material ({tainted}); use "
+                    "analock::ct_equal (lock/ct_equal.h)",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule family 3 (determinism)
+
+DETERMINISM_PATTERNS: list[tuple[str, re.Pattern[str], str]] = [
+    (
+        "determinism-rng",
+        re.compile(r"\bstd\s*::\s*random_device\b|(?<!\w)(?<!::)random_device\b"),
+        "std::random_device is ambient entropy; fork a seeded sim::Rng stream",
+    ),
+    (
+        "determinism-rng",
+        re.compile(r"(?<![\w:.])s?rand\s*\(|\bstd\s*::\s*s?rand\s*\("),
+        "rand()/srand() break seeded reproducibility; use sim::Rng",
+    ),
+    (
+        "determinism-rng",
+        re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+        "time() used as seed material; seeds must be explicit and named",
+    ),
+    (
+        "determinism-rng",
+        re.compile(r"\b(?:default_random_engine|minstd_rand0?|mt19937(?:_64)?)\s*(?:\{\s*\}|\(\s*\))"),
+        "default-seeded <random> engine; derive the seed from sim::Rng::fork",
+    ),
+    (
+        "determinism-clock",
+        re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\b"),
+        "ambient clock read; inject an obs::Clock so runs replay bit-exactly",
+    ),
+    (
+        "determinism-unordered",
+        re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\b"),
+        "unordered container iteration order is run-dependent; use std::map/"
+        "std::set or sort before iterating",
+    ),
+]
+
+
+def check_determinism(stripped: str, line_starts: list[int], path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule, pattern, message in DETERMINISM_PATTERNS:
+        for m in pattern.finditer(stripped):
+            findings.append(
+                Finding(path, line_of(m.start(), line_starts), rule, message)
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule family 2 (layout consistency)
+
+BITRANGE_DECL_RE = re.compile(
+    r"\bBitRange\s+(\w+)\s*\{\s*(\d+)\s*u?\s*,\s*(\d+)\s*u?\s*\}"
+)
+BITRANGE_LITERAL_RE = re.compile(r"\bBitRange\s*\{\s*(\d+)\s*u?\s*,\s*(\d+)\s*u?\s*\}")
+MODE_BIT_RE = re.compile(r"\bconstexpr\s+unsigned\s+(\w+)\s*=\s*(\d+)\s*;")
+WORD_BITS = 64
+
+
+def range_mask(lsb: int, width: int) -> int:
+    return (((1 << width) - 1) << lsb) & ((1 << WORD_BITS) - 1)
+
+
+def is_layout_file(path: Path) -> bool:
+    return "layout" in path.name.lower()
+
+
+def check_layout(stripped: str, line_starts: list[int], path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+
+    # Literal BitRange construction anywhere must fit the word.
+    for m in BITRANGE_LITERAL_RE.finditer(stripped):
+        lsb, width = int(m.group(1)), int(m.group(2))
+        if width == 0 or lsb >= WORD_BITS or lsb + width > WORD_BITS:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(m.start(), line_starts),
+                    "layout-range",
+                    f"BitRange{{{lsb}, {width}}} does not fit the 64-bit "
+                    "word (shift UB / silently dropped bits)",
+                )
+            )
+
+    if not is_layout_file(path):
+        return findings
+
+    # Named fields + single mode bits of a key-layout table. Constants whose
+    # name ends in 'Bits' are totals (kKeyBits), not positions.
+    fields: list[tuple[str, int, int, int]] = []  # (name, lsb, width, offset)
+    for m in BITRANGE_DECL_RE.finditer(stripped):
+        fields.append((m.group(1), int(m.group(2)), int(m.group(3)), m.start()))
+    bits: list[tuple[str, int, int]] = []  # (name, bit, offset)
+    for m in MODE_BIT_RE.finditer(stripped):
+        if m.group(1).endswith("Bits"):
+            continue
+        bits.append((m.group(1), int(m.group(2)), m.start()))
+
+    if not fields and not bits:
+        return findings
+
+    for name, lsb, width, offset in fields:
+        if width == 0 or lsb >= WORD_BITS or lsb + width > WORD_BITS:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(offset, line_starts),
+                    "layout-range",
+                    f"field {name} [{lsb}, {lsb + width}) falls outside the "
+                    "64-bit key word",
+                )
+            )
+    for name, bit, offset in bits:
+        if bit >= WORD_BITS:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(offset, line_starts),
+                    "layout-range",
+                    f"mode bit {name} = {bit} falls outside the 64-bit key word",
+                )
+            )
+
+    # Pairwise overlap (only for in-range entries: out-of-range masks alias).
+    placed: list[tuple[str, int, int]] = []  # (name, mask, offset)
+    for name, lsb, width, offset in fields:
+        if width > 0 and lsb + width <= WORD_BITS:
+            placed.append((name, range_mask(lsb, width), offset))
+    for name, bit, offset in bits:
+        if bit < WORD_BITS:
+            placed.append((name, 1 << bit, offset))
+    for i, (name_a, mask_a, _) in enumerate(placed):
+        for name_b, mask_b, offset_b in placed[i + 1 :]:
+            if mask_a & mask_b:
+                findings.append(
+                    Finding(
+                        path,
+                        line_of(offset_b, line_starts),
+                        "layout-overlap",
+                        f"fields {name_a} and {name_b} overlap in the key word",
+                    )
+                )
+
+    total = sum(width for _, _, width, _ in fields) + len(bits)
+    if total != WORD_BITS:
+        findings.append(
+            Finding(
+                path,
+                line_of(fields[0][3] if fields else bits[0][2], line_starts),
+                "layout-sum",
+                f"layout field widths sum to {total}, expected {WORD_BITS}",
+            )
+        )
+    return findings
+
+
+SHIFT_RE = re.compile(r"(?<![\w.])(\d+)([uUlL]*)\s*<<\s*(\d+)\b")
+
+
+def check_shift_overflow(stripped: str, line_starts: list[int], path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for m in SHIFT_RE.finditer(stripped):
+        base, suffix, shift = int(m.group(1)), m.group(2).lower(), int(m.group(3))
+        # LP64: any 'l' suffix widens to 64 bits, as does a 64-bit literal.
+        wide = "l" in suffix or base > 0xFFFFFFFF
+        limit = 63 if wide else 31
+        if shift < 32:
+            continue
+        if shift > limit or (base.bit_length() - 1 + shift) > limit:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(m.start(), line_starts),
+                    "shift-overflow",
+                    f"literal shift {m.group(1)}{suffix} << {shift} overflows "
+                    f"a {limit + 1}-bit operand (UB); widen the operand "
+                    "(e.g. std::uint64_t{1} << n) or reduce the shift",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def lint_file(path: Path) -> list[Finding]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    stripped = strip_code(text)
+    original_lines = text.splitlines()
+    line_starts = [0]
+    for i, c in enumerate(stripped):
+        if c == "\n":
+            line_starts.append(i + 1)
+
+    findings: list[Finding] = []
+    findings += check_secret_flow(stripped, line_starts, path)
+    findings += check_secret_compare(stripped, line_starts, path)
+    findings += check_determinism(stripped, line_starts, path)
+    findings += check_layout(stripped, line_starts, path)
+    findings += check_shift_overflow(stripped, line_starts, path)
+
+    allows = inline_allows(original_lines)
+    kept = []
+    for f in findings:
+        if f.rule in allows.get(f.line, set()):
+            continue
+        kept.append(f)
+    # Deduplicate identical (line, rule) hits from overlapping patterns.
+    seen: set[tuple[int, str, str]] = set()
+    unique = []
+    for f in kept:
+        key = (f.line, f.rule, f.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(f)
+    return unique
+
+
+def iter_sources(roots: list[Path]) -> list[Path]:
+    out: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            if root.suffix in SOURCE_SUFFIXES:
+                out.append(root)
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            parts = set(path.parts)
+            if parts & EXCLUDED_DIR_NAMES:
+                continue
+            if any(p.startswith("build") for p in path.parts):
+                continue
+            out.append(path)
+    return out
+
+
+def run_tree(root: Path, paths: list[str], allowlist_path: Path | None) -> int:
+    allow = Allowlist()
+    if allowlist_path is not None and allowlist_path.exists():
+        allow = Allowlist.load(allowlist_path)
+    roots = [root / p for p in paths] if paths else [root]
+    files = iter_sources(roots)
+    if not files:
+        print("analock-lint: no source files found", file=sys.stderr)
+        return 2
+    all_findings: list[Finding] = []
+    for path in files:
+        for f in lint_file(path):
+            try:
+                rel = str(path.resolve().relative_to(root.resolve()))
+            except ValueError:
+                rel = str(path)
+            if allow.permits(f.rule, rel):
+                continue
+            all_findings.append(f)
+    for f in all_findings:
+        print(f.render(root))
+    print(
+        f"analock-lint: scanned {len(files)} files, "
+        f"{len(all_findings)} finding(s)"
+    )
+    return 1 if all_findings else 0
+
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([\w\-, ]+)")
+
+
+def run_self_test(fixture_dir: Path) -> int:
+    """Golden-file mode: every `// expect: rule` annotation must be matched
+    by a finding of that rule on the same or the following line, and no
+    fixture may produce findings it does not expect."""
+    files = sorted(
+        p
+        for p in fixture_dir.iterdir()
+        if p.suffix in SOURCE_SUFFIXES and p.is_file()
+    )
+    if not files:
+        print(f"analock-lint: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    total_expected = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        expected: list[tuple[int, str]] = []  # (line, rule)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if not m:
+                continue
+            for rule in (r.strip() for r in m.group(1).split(",")):
+                if rule not in RULES:
+                    print(f"FAIL {path.name}: unknown rule in expect: {rule}")
+                    failures += 1
+                    continue
+                expected.append((lineno, rule))
+        findings = lint_file(path)
+        matched_findings: set[int] = set()
+        for lineno, rule in expected:
+            total_expected += 1
+            hit = next(
+                (
+                    i
+                    for i, f in enumerate(findings)
+                    if i not in matched_findings
+                    and f.rule == rule
+                    and f.line in (lineno, lineno + 1)
+                ),
+                None,
+            )
+            if hit is None:
+                print(
+                    f"FAIL {path.name}:{lineno}: expected a {rule} finding, "
+                    "linter reported none"
+                )
+                failures += 1
+            else:
+                matched_findings.add(hit)
+        for i, f in enumerate(findings):
+            if i not in matched_findings:
+                print(
+                    f"FAIL {path.name}: unexpected finding "
+                    f"{f.render(fixture_dir)}"
+                )
+                failures += 1
+    status = "ok" if failures == 0 else f"{failures} failure(s)"
+    print(
+        f"analock-lint self-test: {len(files)} fixtures, "
+        f"{total_expected} expected violations, {status}"
+    )
+    return 0 if failures == 0 else 1
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="analock-lint", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--root", type=Path, help="repository root to scan")
+    parser.add_argument(
+        "--allowlist",
+        type=Path,
+        default=None,
+        help="path-scoped suppression file (default: <root>/tools/"
+        "analock_lint/allowlist.conf)",
+    )
+    parser.add_argument(
+        "--self-test",
+        type=Path,
+        metavar="FIXTURE_DIR",
+        help="run the golden-fixture self test instead of a tree scan",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="subpaths of --root to scan (default: the whole root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test is not None:
+        return run_self_test(args.self_test)
+    if args.root is None:
+        parser.error("either --root or --self-test is required")
+    allowlist = args.allowlist
+    if allowlist is None:
+        allowlist = args.root / "tools" / "analock_lint" / "allowlist.conf"
+    return run_tree(args.root, args.paths, allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

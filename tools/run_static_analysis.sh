@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the full static-analysis stack over the repository:
+#
+#   1. analock-lint tree scan      (domain rules; always available)
+#   2. analock-lint fixture self-test (the linter's own golden tests)
+#   3. clang-tidy                  (curated .clang-tidy profile; skipped
+#                                   with a notice when not installed)
+#
+# Usage: tools/run_static_analysis.sh [build-dir]
+#
+# The build dir (default: build) is only needed for clang-tidy, which
+# wants a compile_commands.json; it is (re)configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON if the database is missing.
+#
+# Exit status is non-zero if any stage that actually ran found problems.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+LINT="$ROOT/tools/analock_lint/analock_lint.py"
+STATUS=0
+
+echo "== analock-lint: tree scan =="
+if ! python3 "$LINT" --root "$ROOT" src bench examples tests tools; then
+  STATUS=1
+fi
+
+echo
+echo "== analock-lint: fixture self-test =="
+if ! python3 "$LINT" --self-test "$ROOT/tests/lint_fixtures"; then
+  STATUS=1
+fi
+
+echo
+echo "== clang-tidy =="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not installed; skipping (the .clang-tidy profile at"
+  echo "the repo root applies when it is available)."
+  exit $STATUS
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "no compile_commands.json in $BUILD_DIR; configuring..."
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    >/dev/null || exit 1
+fi
+
+# Product sources only: tests/benches link against gtest/benchmark whose
+# headers are outside the profile's remit.
+mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  if ! run-clang-tidy -p "$BUILD_DIR" -quiet "${SOURCES[@]}"; then
+    STATUS=1
+  fi
+else
+  for src in "${SOURCES[@]}"; do
+    if ! clang-tidy -p "$BUILD_DIR" --quiet "$src"; then
+      STATUS=1
+    fi
+  done
+fi
+
+exit $STATUS
