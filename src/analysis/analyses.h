@@ -1,0 +1,41 @@
+// The three analysis passes of analock-verify. Each takes the parsed
+// files (plus the cross-TU call graph where relevant) and appends
+// findings; the engine owns suppression, fingerprints, and ordering.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/model.h"
+#include "analysis/parser.h"
+
+namespace analock::analysis {
+
+/// Interprocedural secret taint: key/PUF material flowing into obs
+/// events/metrics, printf-family calls, `.emit()` sinks, and stream
+/// inserts — directly (taint-sink) or through call chains up to
+/// `max_depth` hops (taint-call).
+void run_taint_analysis(const std::vector<ParsedFile>& files,
+                        const CallGraph& graph, int max_depth,
+                        std::vector<Finding>& out);
+
+/// Lock-capability checking for `// analock: guarded_by(m)` members:
+/// every access in the owning class must be dominated by a
+/// lock_guard/scoped_lock/unique_lock on `m`, or sit in a function
+/// annotated `// analock: requires(m)` whose call sites are checked
+/// instead. Constructors and destructors are exempt.
+void run_lock_analysis(const std::vector<ParsedFile>& files,
+                       const CallGraph& graph, std::vector<Finding>& out);
+
+/// Determinism dataflow: floating-point accumulation whose order depends
+/// on unordered-container iteration, and std <random> engines
+/// constructed from non-sim::Rng sources.
+void run_determinism_analysis(const std::vector<ParsedFile>& files,
+                              std::vector<Finding>& out);
+
+/// True when `identifier` names key/PUF material by the repo's naming
+/// convention (the taint oracle). Exposed for tests.
+[[nodiscard]] bool is_secret_identifier(std::string_view identifier);
+
+}  // namespace analock::analysis

@@ -1,0 +1,927 @@
+#include "analysis/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <set>
+
+namespace analock::analysis {
+
+namespace {
+
+const std::set<std::string_view>& non_callee_keywords() {
+  static const std::set<std::string_view> kw = {
+      "if",     "for",      "while",  "switch",        "return",
+      "catch",  "sizeof",   "alignof", "decltype",     "static_assert",
+      "new",    "delete",   "throw",  "case",          "co_return",
+      "co_await", "co_yield", "not",  "and",           "or",
+  };
+  return kw;
+}
+
+bool is_type_intro_keyword(std::string_view t) {
+  return t == "const" || t == "constexpr" || t == "static" ||
+         t == "mutable" || t == "volatile" || t == "auto" ||
+         t == "unsigned" || t == "signed" || t == "typename" ||
+         t == "inline" || t == "thread_local" || t == "register";
+}
+
+bool is_stmt_keyword(std::string_view t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "return" || t == "do" || t == "else" || t == "case" ||
+         t == "break" || t == "continue" || t == "goto" || t == "try" ||
+         t == "catch" || t == "throw" || t == "using" || t == "delete" ||
+         t == "default" || t == "public" || t == "private" ||
+         t == "protected";
+}
+
+std::string trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(text.substr(b, e - b));
+}
+
+/// Matching-bracket maps over a token stream (token index -> token
+/// index). Unbalanced brackets match to the end of the stream.
+struct BracketMap {
+  std::vector<std::size_t> paren_close;  ///< index of ')' for each '('
+  std::vector<std::size_t> brace_close;  ///< index of '}' for each '{'
+
+  explicit BracketMap(const std::vector<Token>& toks)
+      : paren_close(toks.size(), toks.size()),
+        brace_close(toks.size(), toks.size()) {
+    std::vector<std::size_t> parens;
+    std::vector<std::size_t> braces;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string_view t = toks[i].text;
+      if (t == "(") {
+        parens.push_back(i);
+      } else if (t == ")") {
+        if (!parens.empty()) {
+          paren_close[parens.back()] = i;
+          parens.pop_back();
+        }
+      } else if (t == "{") {
+        braces.push_back(i);
+      } else if (t == "}") {
+        if (!braces.empty()) {
+          brace_close[braces.back()] = i;
+          braces.pop_back();
+        }
+      }
+    }
+  }
+};
+
+struct ScopeEntry {
+  enum class Kind { kNamespace, kClass } kind;
+  std::string name;
+  std::size_t close_tok;
+};
+
+struct ClassRange {
+  std::string name;
+  std::size_t begin_offset;
+  std::size_t end_offset;
+};
+
+/// Text between two token indices in the stripped buffer.
+std::string slice(const std::string& code, const std::vector<Token>& toks,
+                  std::size_t first_tok, std::size_t last_tok_exclusive) {
+  if (first_tok >= last_tok_exclusive || first_tok >= toks.size()) return {};
+  const std::size_t begin = toks[first_tok].offset;
+  const std::size_t end = last_tok_exclusive <= toks.size() &&
+                                  last_tok_exclusive > 0
+                              ? toks[last_tok_exclusive - 1].offset +
+                                    toks[last_tok_exclusive - 1].text.size()
+                              : code.size();
+  if (end <= begin) return {};
+  return trim(std::string_view(code).substr(begin, end - begin));
+}
+
+class FileParser {
+ public:
+  FileParser(const SourceFile& source, ParsedFile& out)
+      : source_(source), out_(out) {
+    // Preprocessor lines (and their backslash continuations) are noise
+    // to a token-level parser: blank them before tokenizing.
+    code_ = source.stripped;
+    blank_preprocessor_lines();
+    toks_ = tokenize(code_);
+    brackets_ = std::make_unique<BracketMap>(toks_);
+  }
+
+  void run() {
+    parse_outer();
+    collect_guarded_members();
+  }
+
+ private:
+  void blank_preprocessor_lines() {
+    bool continued = false;
+    std::size_t i = 0;
+    const std::size_t n = code_.size();
+    while (i < n) {
+      std::size_t line_end = code_.find('\n', i);
+      if (line_end == std::string::npos) line_end = n;
+      std::size_t first = i;
+      while (first < line_end &&
+             (code_[first] == ' ' || code_[first] == '\t')) {
+        ++first;
+      }
+      const bool directive =
+          continued || (first < line_end && code_[first] == '#');
+      if (directive) {
+        continued = line_end > i && code_[line_end - 1] == '\\';
+        for (std::size_t k = i; k < line_end; ++k) code_[k] = ' ';
+      } else {
+        continued = false;
+      }
+      i = line_end + 1;
+    }
+  }
+
+  // ------------------------------------------------------------- outer walk
+
+  void parse_outer() {
+    std::size_t i = 0;
+    while (i < toks_.size()) {
+      pop_scopes(i);
+      const std::string_view t = toks_[i].text;
+      if (t == "namespace") {
+        i = handle_namespace(i);
+      } else if ((t == "class" || t == "struct" || t == "union") &&
+                 (i == 0 || toks_[i - 1].text != "enum")) {
+        i = handle_class(i);
+      } else if (t == "enum") {
+        i = skip_enum(i);
+      } else if (t == "template") {
+        i = skip_template_params(i + 1);
+      } else if (t == "(") {
+        std::size_t next = i + 1;
+        if (try_function_def(i, next)) {
+          i = next;
+        } else {
+          ++i;
+        }
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void pop_scopes(std::size_t i) {
+    while (!scopes_.empty() && i >= scopes_.back().close_tok) {
+      scopes_.pop_back();
+    }
+  }
+
+  std::size_t handle_namespace(std::size_t i) {
+    std::string name;
+    std::size_t j = i + 1;
+    while (j < toks_.size() && (toks_[j].is_ident() || toks_[j].is("::"))) {
+      name += toks_[j].text;
+      ++j;
+    }
+    if (j < toks_.size() && toks_[j].is("{")) {
+      scopes_.push_back({ScopeEntry::Kind::kNamespace,
+                         name.empty() ? std::string("<anon>") : name,
+                         brackets_->brace_close[j]});
+      return j + 1;
+    }
+    // Namespace alias or malformed: skip to ';'.
+    while (j < toks_.size() && !toks_[j].is(";")) ++j;
+    return j + 1;
+  }
+
+  std::size_t handle_class(std::size_t i) {
+    std::string name;
+    std::size_t j = i + 1;
+    // First identifier (skipping attribute brackets) is the class name.
+    while (j < toks_.size() && !toks_[j].is_ident() && !toks_[j].is("{") &&
+           !toks_[j].is(";")) {
+      ++j;
+    }
+    if (j < toks_.size() && toks_[j].is_ident()) {
+      name = std::string(toks_[j].text);
+      ++j;
+    }
+    // Scan to the body '{' or forward-declaration ';', skipping template
+    // arguments in base clauses.
+    int angle = 0;
+    while (j < toks_.size()) {
+      const std::string_view t = toks_[j].text;
+      if (t == "<") {
+        ++angle;
+      } else if (t == ">") {
+        angle = std::max(0, angle - 1);
+      } else if (t == ">>") {
+        angle = std::max(0, angle - 2);
+      } else if (t == "(") {
+        j = brackets_->paren_close[j];
+      } else if (angle == 0 && t == "{") {
+        const std::size_t close = brackets_->brace_close[j];
+        scopes_.push_back({ScopeEntry::Kind::kClass, name, close});
+        class_ranges_.push_back(
+            {name, toks_[j].offset,
+             close < toks_.size() ? toks_[close].offset : code_.size()});
+        return j + 1;
+      } else if (angle == 0 && t == ";") {
+        return j + 1;
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  std::size_t skip_enum(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < toks_.size() && !toks_[j].is("{") && !toks_[j].is(";")) ++j;
+    if (j < toks_.size() && toks_[j].is("{")) {
+      return brackets_->brace_close[j] + 1;
+    }
+    return j + 1;
+  }
+
+  std::size_t skip_template_params(std::size_t i) {
+    if (i >= toks_.size() || !toks_[i].is("<")) return i;
+    int depth = 0;
+    while (i < toks_.size()) {
+      const std::string_view t = toks_[i].text;
+      if (t == "<") {
+        ++depth;
+      } else if (t == ">") {
+        if (--depth == 0) return i + 1;
+      } else if (t == ">>") {
+        depth -= 2;
+        if (depth <= 0) return i + 1;
+      } else if (t == "(") {
+        i = brackets_->paren_close[i];
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  /// Walks back from the '(' at `paren` collecting the declarator chain
+  /// ("Registry::counter", "operator<<", "~JsonlSink"). Returns false
+  /// when the preceding tokens are not a plausible function name.
+  bool collect_name_chain(std::size_t paren, std::string& chain,
+                          std::size_t& name_start_tok) const {
+    if (paren == 0) return false;
+    std::size_t j = paren - 1;
+    std::vector<std::string_view> parts;
+    if (!toks_[j].is_ident()) {
+      // operator<<, operator==, operator(), ...
+      if (toks_[j].kind == TokKind::kPunct && j >= 1 &&
+          toks_[j - 1].is("operator")) {
+        parts.push_back(toks_[j].text);
+        parts.push_back(toks_[j - 1].text);
+        j = j >= 2 ? j - 2 : 0;
+      } else if (toks_[j].is("]") && j >= 2 && toks_[j - 1].is("[") &&
+                 toks_[j - 2].is("operator")) {
+        parts.push_back("[]");
+        parts.push_back("operator");
+        j = j >= 3 ? j - 3 : 0;
+      } else {
+        return false;
+      }
+    } else {
+      if (non_callee_keywords().count(toks_[j].text) > 0) return false;
+      parts.push_back(toks_[j].text);
+      if (j == 0) {
+        name_start_tok = 0;
+        chain = std::string(parts[0]);
+        return true;
+      }
+      --j;
+    }
+    // Optional destructor tilde and Class:: qualifiers.
+    while (true) {
+      if (toks_[j].is("~")) {
+        parts.push_back("~");
+        if (j == 0) break;
+        --j;
+        continue;
+      }
+      if (toks_[j].is("::") && j >= 1 && toks_[j - 1].is_ident()) {
+        parts.push_back("::");
+        parts.push_back(toks_[j - 1].text);
+        if (j < 2) {
+          j = 0;
+          break;
+        }
+        j -= 2;
+        continue;
+      }
+      ++j;  // j now points at the first token of the chain
+      break;
+    }
+    name_start_tok = j;
+    chain.clear();
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) chain += *it;
+    return true;
+  }
+
+  /// Tries to recognize a function definition whose parameter list opens
+  /// at token `paren`. On success records it and sets `resume` past the
+  /// body.
+  bool try_function_def(std::size_t paren, std::size_t& resume) {
+    std::string chain;
+    std::size_t name_start = 0;
+    if (!collect_name_chain(paren, chain, name_start)) return false;
+    const std::size_t close = brackets_->paren_close[paren];
+    if (close >= toks_.size()) return false;
+
+    // Scan past trailing qualifiers to find '{' (definition), ';'
+    // (declaration), or anything else (not a function).
+    std::size_t j = close + 1;
+    bool in_trailing_return = false;
+    while (j < toks_.size()) {
+      const std::string_view t = toks_[j].text;
+      if (t == "{") {
+        if (in_trailing_return && j >= 1 &&
+            (toks_[j - 1].is_ident() || toks_[j - 1].is(">"))) {
+          // Brace-init inside a trailing return type: skip it.
+          j = brackets_->brace_close[j] + 1;
+          continue;
+        }
+        break;
+      }
+      if (t == ";" || t == "=" || t == ",") return false;
+      if (t == ":") {
+        // Constructor initializer list: scan to the body '{'.
+        j = skip_ctor_init_list(j + 1);
+        break;
+      }
+      if (t == "const" || t == "noexcept" || t == "override" ||
+          t == "final" || t == "mutable" || t == "&" || t == "&&" ||
+          t == "throw") {
+        ++j;
+        continue;
+      }
+      if (t == "(") {  // noexcept(...), throw(...)
+        j = brackets_->paren_close[j] + 1;
+        continue;
+      }
+      if (t == "->") {
+        in_trailing_return = true;
+        ++j;
+        continue;
+      }
+      if (in_trailing_return &&
+          (toks_[j].is_ident() || t == "::" || t == "<" || t == ">" ||
+           t == ">>" || t == "*" || t == "[" || t == "]")) {
+        ++j;
+        continue;
+      }
+      return false;
+    }
+    if (j >= toks_.size() || !toks_[j].is("{")) return false;
+
+    const std::size_t body_open = j;
+    const std::size_t body_close = brackets_->brace_close[body_open];
+
+    FunctionDef def;
+    def.name_offset = toks_[name_start].offset;
+    assign_names(def, chain);
+    def.params = parse_params(paren, close);
+    def.body_begin = toks_[body_open].offset + 1;
+    def.body_end = body_close < toks_.size() ? toks_[body_close].offset
+                                             : code_.size();
+    def.requires_mutex = find_requires_annotation(def);
+    extract_body(def, body_open, body_close);
+    out_.functions.push_back(std::move(def));
+    resume = body_close + 1;
+    return true;
+  }
+
+  std::size_t skip_ctor_init_list(std::size_t j) {
+    // Inside "Ctor(...) : member_(expr), other_{expr} {". A '{' preceded
+    // by an identifier or '>' is a brace initializer; one preceded by
+    // ')' or '}' is the body.
+    while (j < toks_.size()) {
+      const std::string_view t = toks_[j].text;
+      if (t == "(") {
+        j = brackets_->paren_close[j] + 1;
+        continue;
+      }
+      if (t == "{") {
+        if (j >= 1 && (toks_[j - 1].is_ident() || toks_[j - 1].is(">"))) {
+          j = brackets_->brace_close[j] + 1;
+          continue;
+        }
+        return j;
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  void assign_names(FunctionDef& def, const std::string& chain) const {
+    // Split the chain on "::" to find base name and owner class.
+    std::vector<std::string> comps;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t sep = chain.find("::", pos);
+      if (sep == std::string::npos) {
+        comps.push_back(chain.substr(pos));
+        break;
+      }
+      comps.push_back(chain.substr(pos, sep - pos));
+      pos = sep + 2;
+    }
+    def.base_name = comps.back();
+    if (comps.size() > 1) {
+      def.class_name = comps[comps.size() - 2];
+    } else {
+      for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+        if (it->kind == ScopeEntry::Kind::kClass) {
+          def.class_name = it->name;
+          break;
+        }
+      }
+    }
+    std::string prefix;
+    for (const ScopeEntry& s : scopes_) {
+      prefix += s.name;
+      prefix += "::";
+    }
+    def.qualified_name = prefix + chain;
+    const std::string& base = def.base_name;
+    def.is_ctor_or_dtor =
+        (!def.class_name.empty() &&
+         (base == def.class_name || base == "~" + def.class_name)) ||
+        (!base.empty() && base[0] == '~');
+  }
+
+  std::vector<Param> parse_params(std::size_t paren,
+                                  std::size_t close) const {
+    std::vector<Param> params;
+    const std::string text = slice(code_, toks_, paren + 1, close);
+    if (text.empty() || text == "void") return params;
+    for (const std::string& piece : split_top_level_args(text)) {
+      if (piece.empty() || piece == "..." || piece == "void") continue;
+      // Drop default arguments.
+      std::string decl = piece;
+      int depth = 0;
+      for (std::size_t k = 0; k < decl.size(); ++k) {
+        const char ch = decl[k];
+        if (ch == '(' || ch == '[' || ch == '{' || ch == '<') ++depth;
+        if (ch == ')' || ch == ']' || ch == '}' || ch == '>') --depth;
+        if (ch == '=' && depth == 0 &&
+            (k + 1 >= decl.size() || decl[k + 1] != '=')) {
+          decl = trim(std::string_view(decl).substr(0, k));
+          break;
+        }
+      }
+      Param p;
+      // The trailing identifier, if preceded by type text, is the name.
+      std::size_t e = decl.size();
+      while (e > 0 && (std::isalnum(static_cast<unsigned char>(
+                           decl[e - 1])) != 0 ||
+                       decl[e - 1] == '_')) {
+        --e;
+      }
+      const std::string tail = decl.substr(e);
+      const std::string head = trim(std::string_view(decl).substr(0, e));
+      if (!tail.empty() && !head.empty() &&
+          !is_type_intro_keyword(tail) && tail != "int" &&
+          tail != "double" && tail != "float" && tail != "char" &&
+          tail != "bool" && tail != "long" && tail != "short") {
+        p.name = tail;
+        p.type = head;
+      } else {
+        p.type = decl;
+      }
+      params.push_back(std::move(p));
+    }
+    return params;
+  }
+
+  std::string find_requires_annotation(const FunctionDef& def) const {
+    const int first = source_.line_of(def.name_offset);
+    const int last = source_.line_of(def.body_begin);
+    for (int line = std::max(1, first - 1); line <= last; ++line) {
+      const std::string_view text = source_.line_text(line);
+      const std::size_t tag = text.find("analock:");
+      if (tag == std::string_view::npos) continue;
+      const std::size_t req = text.find("requires(", tag);
+      if (req == std::string_view::npos) continue;
+      const std::size_t open = req + 9;
+      const std::size_t end = text.find(')', open);
+      if (end == std::string_view::npos) continue;
+      return trim(text.substr(open, end - open));
+    }
+    return {};
+  }
+
+  // -------------------------------------------------------------- body walk
+
+  void extract_body(FunctionDef& def, std::size_t body_open,
+                    std::size_t body_close) {
+    std::set<std::size_t> decl_init_parens;
+    std::vector<std::size_t> brace_stack;  // token indices of open braces
+    bool at_stmt_start = true;
+    std::size_t i = body_open + 1;
+    while (i < body_close && i < toks_.size()) {
+      const Token& tok = toks_[i];
+      const std::string_view t = tok.text;
+
+      if (t == "{") {
+        brace_stack.push_back(i);
+        at_stmt_start = true;
+        ++i;
+        continue;
+      }
+      if (t == "}") {
+        if (!brace_stack.empty()) brace_stack.pop_back();
+        at_stmt_start = true;
+        ++i;
+        continue;
+      }
+      if (t == ";") {
+        at_stmt_start = true;
+        ++i;
+        continue;
+      }
+
+      if (t == "for" && i + 1 < body_close && toks_[i + 1].is("(")) {
+        handle_range_for(def, i + 1, body_close);
+        // Fall through: the loop contents still get generic extraction.
+      }
+
+      if (t == "return") {
+        std::size_t j = i + 1;
+        int depth = 0;
+        while (j < body_close) {
+          const std::string_view rt = toks_[j].text;
+          if (rt == "(" || rt == "[" || rt == "{") ++depth;
+          if (rt == ")" || rt == "]" || rt == "}") --depth;
+          if (rt == ";" && depth <= 0) break;
+          ++j;
+        }
+        ReturnExpr ret;
+        ret.text = slice(code_, toks_, i + 1, j);
+        ret.offset = tok.offset;
+        def.returns.push_back(std::move(ret));
+        at_stmt_start = false;
+        ++i;
+        continue;
+      }
+
+      if (at_stmt_start && tok.is_ident() && !is_stmt_keyword(t)) {
+        std::size_t consumed = 0;
+        if (try_parse_decl(def, i, body_close, brace_stack, body_close,
+                           decl_init_parens, consumed)) {
+          i = consumed;
+          at_stmt_start = false;
+          continue;
+        }
+      }
+      at_stmt_start = false;
+
+      if (tok.is_ident() && i + 1 < body_close && toks_[i + 1].is("(") &&
+          decl_init_parens.count(i + 1) == 0 &&
+          non_callee_keywords().count(t) == 0) {
+        record_call(def, i);
+      }
+
+      if (tok.is_ident()) {
+        const bool qualified =
+            i > 0 && (toks_[i - 1].is(".") || toks_[i - 1].is("::") ||
+                      (toks_[i - 1].is("->") &&
+                       !(i > 1 && toks_[i - 2].is("this"))));
+        if (!qualified && non_callee_keywords().count(t) == 0 &&
+            !is_stmt_keyword(t) && !is_type_intro_keyword(t)) {
+          def.accesses.push_back({std::string(t), tok.offset});
+        }
+      }
+
+      if (t == "+=" || t == "-=" || t == "*=" || t == "/=") {
+        std::size_t j = i;
+        // Walk back over a possible subscript to the assigned identifier.
+        if (j > 0 && toks_[j - 1].is("]")) {
+          int depth = 0;
+          while (j > 0) {
+            --j;
+            if (toks_[j].is("]")) ++depth;
+            if (toks_[j].is("[")) {
+              if (--depth == 0) break;
+            }
+          }
+        }
+        if (j > 0 && toks_[j - 1].is_ident()) {
+          def.compound_assigns.push_back(
+              {std::string(toks_[j - 1].text), tok.offset});
+        }
+      }
+      ++i;
+    }
+  }
+
+  void record_call(FunctionDef& def, std::size_t name_tok) {
+    // Extend the chain backwards over ., ->, and :: links.
+    std::size_t start = name_tok;
+    while (start >= 2 &&
+           (toks_[start - 1].is("::") || toks_[start - 1].is(".") ||
+            toks_[start - 1].is("->")) &&
+           toks_[start - 2].is_ident()) {
+      start -= 2;
+    }
+    std::string chain;
+    for (std::size_t k = start; k <= name_tok; ++k) chain += toks_[k].text;
+
+    const std::size_t paren = name_tok + 1;
+    const std::size_t close = brackets_->paren_close[paren];
+    CallSite call;
+    call.callee = chain;
+    call.base_name = std::string(toks_[name_tok].text);
+    call.offset = toks_[start].offset;
+    const std::string args = slice(code_, toks_, paren + 1, close);
+    if (!args.empty()) call.args = split_top_level_args(args);
+    def.calls.push_back(std::move(call));
+  }
+
+  bool try_parse_decl(FunctionDef& def, std::size_t i,
+                      std::size_t body_close,
+                      const std::vector<std::size_t>& brace_stack,
+                      std::size_t body_close_tok,
+                      std::set<std::size_t>& decl_init_parens,
+                      std::size_t& consumed) {
+    // Pattern: [intro-kw]* type-tokens name ( '=' | '(' | '{' | ';' ).
+    std::size_t j = i;
+    int angle = 0;
+    std::vector<std::size_t> ident_toks;
+    std::size_t last_tok = i;
+    while (j < body_close) {
+      const std::string_view t = toks_[j].text;
+      if (toks_[j].is_ident()) {
+        if (angle == 0) ident_toks.push_back(j);
+        ++j;
+      } else if (t == "::" || t == "*" || t == "&" || t == "&&") {
+        ++j;
+      } else if (t == "<") {
+        ++angle;
+        ++j;
+      } else if (t == ">") {
+        angle = std::max(0, angle - 1);
+        ++j;
+      } else if (t == ">>") {
+        angle = std::max(0, angle - 2);
+        ++j;
+      } else if (angle > 0 && (t == "," || toks_[j].kind ==
+                                               TokKind::kNumber ||
+                               t == "(" || t == ")")) {
+        ++j;  // template arguments
+      } else {
+        break;
+      }
+      last_tok = j;
+    }
+    if (j >= body_close || ident_toks.size() < 2) return false;
+    const std::string_view term = toks_[j].text;
+    if (term != "=" && term != "(" && term != "{" && term != ";") {
+      return false;
+    }
+    // The last top-level identifier is the variable name; everything
+    // before it is the type.
+    const std::size_t name_tok = ident_toks.back();
+    if (name_tok + 1 != j &&
+        !(toks_[name_tok + 1].is("[") || toks_[name_tok + 1].is("&") ||
+          toks_[name_tok + 1].is("*"))) {
+      // Qualified call chains like a::b(...) end with :: between the
+      // last two identifiers; a real decl has the name directly before
+      // the terminator.
+      if (!(name_tok + 1 < toks_.size() && toks_[name_tok + 1].offset >=
+                                               toks_[j].offset)) {
+        return false;
+      }
+    }
+    if (name_tok >= 1 && (toks_[name_tok - 1].is("::") ||
+                          toks_[name_tok - 1].is(".") ||
+                          toks_[name_tok - 1].is("->"))) {
+      return false;  // qualified name, not a declaration
+    }
+    VarDecl decl;
+    decl.name = std::string(toks_[name_tok].text);
+    decl.type = slice(code_, toks_, i, name_tok);
+    decl.offset = toks_[i].offset;
+    if (decl.type.empty()) return false;
+    if (term != ";") {
+      // Initializer: up to the statement-ending ';' at depth 0.
+      std::size_t k = j;
+      int depth = 0;
+      while (k < body_close) {
+        const std::string_view it = toks_[k].text;
+        if (it == "(" || it == "[" || it == "{") ++depth;
+        if (it == ")" || it == "]" || it == "}") --depth;
+        if (it == ";" && depth <= 0) break;
+        ++k;
+      }
+      decl.init = slice(code_, toks_, j, k);
+    }
+
+    // Lock guards get scope extents; their init parens are not calls.
+    const bool is_lock = decl.type.find("scoped_lock") != std::string::npos ||
+                         decl.type.find("lock_guard") != std::string::npos ||
+                         decl.type.find("unique_lock") != std::string::npos;
+    std::size_t end_tok = j;
+    if (term == "(" || term == "{") {
+      decl_init_parens.insert(j);
+      end_tok = term == "("
+                    ? brackets_->paren_close[j]
+                    : brackets_->brace_close[j];
+      if (is_lock) {
+        const std::size_t scope_close_tok =
+            brace_stack.empty() ? body_close_tok
+                                : brackets_->brace_close[brace_stack.back()];
+        const std::size_t scope_end =
+            scope_close_tok < toks_.size() ? toks_[scope_close_tok].offset
+                                           : code_.size();
+        const std::string args = slice(code_, toks_, j + 1, end_tok);
+        for (const std::string& arg : split_top_level_args(args)) {
+          if (arg.empty() || arg.find("adopt_lock") != std::string::npos ||
+              arg.find("defer_lock") != std::string::npos) {
+            continue;
+          }
+          def.locks.push_back({arg, decl.offset, scope_end});
+        }
+      }
+    }
+    def.locals.push_back(std::move(decl));
+    (void)last_tok;
+    (void)end_tok;
+    // Resume right after the name so initializer expressions still get
+    // call/access extraction.
+    consumed = name_tok + 1;
+    return true;
+  }
+
+  void handle_range_for(FunctionDef& def, std::size_t paren,
+                        std::size_t body_close) {
+    const std::size_t close = brackets_->paren_close[paren];
+    if (close >= body_close) return;
+    // Find the ':' at depth 1 (directly inside the for parens).
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t k = paren; k <= close; ++k) {
+      const std::string_view t = toks_[k].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      if (t == ":" && depth == 1) {
+        colon = k;
+        break;
+      }
+      if (t == ";") return;  // classic for loop
+    }
+    if (colon == 0) return;
+    RangeForLoop loop;
+    loop.range_text = slice(code_, toks_, colon + 1, close);
+    std::size_t body_tok = close + 1;
+    if (body_tok < body_close && toks_[body_tok].is("{")) {
+      const std::size_t body_end_tok = brackets_->brace_close[body_tok];
+      loop.body_begin = toks_[body_tok].offset + 1;
+      loop.body_end = body_end_tok < toks_.size()
+                          ? toks_[body_end_tok].offset
+                          : code_.size();
+    } else {
+      // Single statement body: until the next ';' at depth 0.
+      std::size_t k = body_tok;
+      int d = 0;
+      while (k < body_close) {
+        const std::string_view t = toks_[k].text;
+        if (t == "(" || t == "[" || t == "{") ++d;
+        if (t == ")" || t == "]" || t == "}") --d;
+        if (t == ";" && d <= 0) break;
+        ++k;
+      }
+      loop.body_begin = body_tok < toks_.size() ? toks_[body_tok].offset : 0;
+      loop.body_end = k < toks_.size() ? toks_[k].offset : code_.size();
+    }
+    def.range_fors.push_back(std::move(loop));
+  }
+
+  // -------------------------------------------------- guarded_by collection
+
+  void collect_guarded_members() {
+    const std::string& text = source_.text;
+    std::size_t pos = 0;
+    while ((pos = text.find("guarded_by(", pos)) != std::string::npos) {
+      const std::size_t open = pos + 11;
+      pos = open;
+      // Only comments carrying the analock marker count as annotations;
+      // a bare guarded-by elsewhere (string literal, prose) is ignored.
+      const int line = source_.line_of(open);
+      const std::string_view line_text = source_.line_text(line);
+      if (line_text.find("analock:") == std::string_view::npos) continue;
+      const std::size_t end = text.find(')', open);
+      if (end == std::string::npos) break;
+      const std::string mutex_name = trim(
+          std::string_view(text).substr(open, end - open));
+      if (mutex_name.empty()) continue;
+
+      // Owning class: innermost class body containing this offset.
+      std::string class_name;
+      std::size_t best_span = std::string::npos;
+      for (const ClassRange& range : class_ranges_) {
+        if (range.begin_offset <= open && open < range.end_offset) {
+          const std::size_t span = range.end_offset - range.begin_offset;
+          if (span < best_span) {
+            best_span = span;
+            class_name = range.name;
+          }
+        }
+      }
+      if (class_name.empty()) continue;
+
+      // Declared member: last identifier of the stripped decl line
+      // before '=', ';', or '{'. A trailing annotation shares the
+      // member's line; a comment-only annotation line covers the
+      // declaration directly below it.
+      const auto member_on_line = [this](int decl_lineno) -> std::string {
+        if (decl_lineno < 1 ||
+            static_cast<std::size_t>(decl_lineno) >
+                source_.line_starts.size()) {
+          return {};
+        }
+        const std::size_t start =
+            source_.line_starts[static_cast<std::size_t>(decl_lineno - 1)];
+        std::size_t stop = source_.stripped.find('\n', start);
+        if (stop == std::string::npos) stop = source_.stripped.size();
+        const std::string_view decl_line =
+            std::string_view(source_.stripped).substr(start, stop - start);
+        std::string member;
+        std::string current;
+        for (const char c : decl_line) {
+          if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+            current += c;
+            continue;
+          }
+          if (!current.empty()) member = current;
+          current.clear();
+          if (c == '=' || c == ';' || c == '{') break;
+        }
+        if (!current.empty()) member = current;
+        return member;
+      };
+      int decl_line = line;
+      std::string member = member_on_line(decl_line);
+      if (member.empty()) {
+        decl_line = line + 1;
+        member = member_on_line(decl_line);
+      }
+      if (member.empty()) continue;
+      const std::size_t member_offset =
+          source_.line_starts[static_cast<std::size_t>(decl_line - 1)];
+      out_.guarded_members.push_back(
+          {class_name, member, mutex_name, member_offset});
+    }
+  }
+
+  const SourceFile& source_;
+  ParsedFile& out_;
+  std::string code_;
+  std::vector<Token> toks_;
+  std::unique_ptr<BracketMap> brackets_;
+  std::vector<ScopeEntry> scopes_;
+  std::vector<ClassRange> class_ranges_;
+};
+
+}  // namespace
+
+std::vector<std::string> split_top_level_args(std::string_view args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  int angle = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == '<') ++angle;
+    if (c == '>') angle = std::max(0, angle - 1);
+    if (c == ',' && depth == 0 && angle == 0) {
+      const std::string piece = trim(args.substr(start, i - start));
+      if (!piece.empty()) out.push_back(piece);
+      start = i + 1;
+    }
+  }
+  const std::string piece = trim(args.substr(start));
+  if (!piece.empty()) out.push_back(piece);
+  return out;
+}
+
+ParsedFile parse_file(const SourceFile& source) {
+  ParsedFile parsed;
+  parsed.source = &source;
+  FileParser parser(source, parsed);
+  parser.run();
+  return parsed;
+}
+
+}  // namespace analock::analysis

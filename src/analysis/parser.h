@@ -1,0 +1,124 @@
+// Lightweight syntactic extraction for the analock-verify engine.
+//
+// This is deliberately NOT a C++ front end. It recovers exactly the
+// shapes the analyses need from the token stream of one file:
+//
+//   * function definitions (free, in-class, and out-of-line
+//     Class::method), with qualified names, parameter lists, and body
+//     token ranges;
+//   * call expressions inside bodies, with the full callee chain
+//     ("obs::event", "sink_->emit") and top-level-comma-split argument
+//     texts;
+//   * local variable declarations (name -> type text), return
+//     expressions, lock-guard declarations with their lexical scope
+//     extent, and range-for loops;
+//   * class member declarations carrying `// analock: guarded_by(m)`
+//     annotations, and function definitions carrying
+//     `// analock: requires(m)`.
+//
+// Template bodies, lambdas, and macro invocations are all traversed as
+// ordinary token runs: a lambda's calls are attributed to the enclosing
+// function, which is the right granularity for taint and lock checks.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lexer.h"
+#include "analysis/model.h"
+
+namespace analock::analysis {
+
+struct Param {
+  std::string type;  ///< declaration text minus the trailing name
+  std::string name;  ///< empty for unnamed parameters
+};
+
+struct CallSite {
+  std::string callee;       ///< full chain, spaces removed: "obs::event"
+  std::string base_name;    ///< last identifier: "event"
+  std::vector<std::string> args;  ///< top-level comma split, trimmed
+  std::size_t offset = 0;   ///< offset of the callee's first token
+};
+
+struct VarDecl {
+  std::string name;
+  std::string type;
+  std::string init;  ///< initializer text incl. delimiters, "" if none
+  std::size_t offset = 0;
+};
+
+struct LockHold {
+  std::string mutex_name;        ///< e.g. "mu_" (one entry per lock arg)
+  std::size_t begin_offset = 0;  ///< where the guard is declared
+  std::size_t end_offset = 0;    ///< end of its enclosing block scope
+};
+
+struct ReturnExpr {
+  std::string text;
+  std::size_t offset = 0;
+};
+
+struct MemberAccess {
+  std::string name;
+  std::size_t offset = 0;
+};
+
+struct RangeForLoop {
+  std::string range_text;        ///< expression after ':'
+  std::size_t body_begin = 0;    ///< offset just inside the loop body
+  std::size_t body_end = 0;
+};
+
+struct CompoundAssign {
+  std::string lhs;               ///< identifier on the left of +=/-=/*=
+  std::size_t offset = 0;
+};
+
+struct FunctionDef {
+  std::string qualified_name;  ///< "ns::Class::method" or "free_fn"
+  std::string class_name;      ///< enclosing/owner class, "" for free fns
+  std::string base_name;       ///< unqualified name
+  std::vector<Param> params;
+  bool is_ctor_or_dtor = false;
+  std::string requires_mutex;  ///< from `// analock: requires(m)`
+  std::size_t name_offset = 0;
+  std::size_t body_begin = 0;  ///< offset just inside '{'
+  std::size_t body_end = 0;    ///< offset of matching '}'
+
+  // Body-level extraction.
+  std::vector<CallSite> calls;
+  std::vector<VarDecl> locals;
+  std::vector<LockHold> locks;
+  std::vector<ReturnExpr> returns;
+  std::vector<MemberAccess> accesses;   ///< bare identifier occurrences
+  std::vector<RangeForLoop> range_fors;
+  std::vector<CompoundAssign> compound_assigns;
+};
+
+struct AnnotatedMember {
+  std::string class_name;
+  std::string member_name;
+  std::string mutex_name;
+  std::size_t offset = 0;
+};
+
+/// Everything extracted from one file.
+struct ParsedFile {
+  const SourceFile* source = nullptr;
+  std::vector<FunctionDef> functions;
+  std::vector<AnnotatedMember> guarded_members;
+};
+
+/// Parses one file. `source` must outlive the returned ParsedFile.
+[[nodiscard]] ParsedFile parse_file(const SourceFile& source);
+
+/// Splits an argument list on top-level commas (respects (), [], {},
+/// and <> nesting) and trims whitespace from each piece.
+[[nodiscard]] std::vector<std::string> split_top_level_args(
+    std::string_view args);
+
+}  // namespace analock::analysis

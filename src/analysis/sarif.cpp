@@ -1,0 +1,143 @@
+#include "analysis/sarif.h"
+
+#include <cstdio>
+
+namespace analock::analysis {
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void append_quoted(std::string& out, std::string_view text) {
+  out += '"';
+  append_json_escaped(out, text);
+  out += '"';
+}
+
+/// Repo paths go into artifactLocation.uri, which must be a valid
+/// relative URI: normalize backslashes.
+std::string to_uri(std::string_view path) {
+  std::string uri(path);
+  for (char& c : uri) {
+    if (c == '\\') c = '/';
+  }
+  return uri;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  const std::vector<RuleInfo>& rules = rule_catalog();
+  std::string out;
+  out.reserve(2048 + findings.size() * 384);
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"analock-verify\",\n"
+      "          \"version\": \"1.0.0\",\n"
+      "          \"informationUri\": "
+      "\"https://github.com/analock/analock\",\n"
+      "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": ";
+    append_quoted(out, rules[i].id);
+    out += ", \"shortDescription\": {\"text\": ";
+    append_quoted(out, rules[i].short_description);
+    out += "}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"columnKind\": \"utf16CodeUnits\",\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::size_t rule_index = 0;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      if (f.rule == rules[r].id) {
+        rule_index = r;
+        break;
+      }
+    }
+    out += "        {\n          \"ruleId\": ";
+    append_quoted(out, f.rule);
+    out += ",\n          \"ruleIndex\": ";
+    out += std::to_string(rule_index);
+    out += ",\n          \"level\": \"warning\",\n          \"message\": "
+           "{\"text\": ";
+    append_quoted(out, f.message);
+    out += "},\n          \"locations\": [\n            "
+           "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ";
+    append_quoted(out, to_uri(f.file));
+    out += "}, \"region\": {\"startLine\": ";
+    out += std::to_string(f.line);
+    out += ", \"startColumn\": ";
+    out += std::to_string(f.col);
+    out += "}}}\n          ],\n          \"partialFingerprints\": {";
+    append_quoted(out, kFingerprintKey);
+    out += ": ";
+    append_quoted(out, f.fingerprint);
+    out += "}\n        }";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+std::set<std::string> load_baseline_fingerprints(std::string_view sarif_text) {
+  std::set<std::string> fingerprints;
+  const std::string key = std::string("\"") + kFingerprintKey + "\"";
+  std::size_t pos = 0;
+  while ((pos = sarif_text.find(key, pos)) != std::string_view::npos) {
+    std::size_t i = pos + key.size();
+    while (i < sarif_text.size() &&
+           (sarif_text[i] == ':' || sarif_text[i] == ' ' ||
+            sarif_text[i] == '\t' || sarif_text[i] == '\n')) {
+      ++i;
+    }
+    if (i < sarif_text.size() && sarif_text[i] == '"') {
+      const std::size_t end = sarif_text.find('"', i + 1);
+      if (end != std::string_view::npos) {
+        fingerprints.insert(
+            std::string(sarif_text.substr(i + 1, end - i - 1)));
+        pos = end + 1;
+        continue;
+      }
+    }
+    pos += key.size();
+  }
+  return fingerprints;
+}
+
+}  // namespace analock::analysis

@@ -1,0 +1,37 @@
+// SARIF v2.1.0 emission and baseline diffing.
+//
+// to_sarif() serializes findings into a static-analysis interchange
+// log (one run, tool "analock-verify", full rule metadata, one result
+// per finding with a partialFingerprints entry). The fingerprint key
+// "analockFingerprint/v1" hashes rule + path + normalized line text,
+// so a checked-in baseline keeps matching findings across unrelated
+// line-number churn.
+//
+// load_baseline_fingerprints() extracts that fingerprint set from an
+// existing SARIF file with a targeted scanner (no general JSON parser
+// needed: the key is unique to our own emitter).
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/model.h"
+
+namespace analock::analysis {
+
+/// Fingerprint key used in result.partialFingerprints.
+inline constexpr const char* kFingerprintKey = "analockFingerprint/v1";
+
+/// Serializes findings as a SARIF 2.1.0 log (pretty-printed).
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+/// Extracts every analockFingerprint/v1 value from SARIF text.
+[[nodiscard]] std::set<std::string> load_baseline_fingerprints(
+    std::string_view sarif_text);
+
+/// Appends `text` to `out` with JSON string escaping.
+void append_json_escaped(std::string& out, std::string_view text);
+
+}  // namespace analock::analysis

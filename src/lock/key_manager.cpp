@@ -66,6 +66,7 @@ Key64 PufXorScheme::regenerate_id(std::size_t slot) {
     // so regeneration agreement doesn't leak through timing.
     if (!analock::ct_equal(r, voted)) {
       obs::count("recover.puf_majority_corrections");
+      // analock-verify: allow(taint-sink) corrected_bits is a Hamming bit-count between regenerations, not key words
       obs::event("recover.puf_majority",
                  {{"slot", static_cast<std::uint64_t>(slot)},
                   {"corrected_bits", r.hamming_distance(voted)}});

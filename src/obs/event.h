@@ -76,7 +76,7 @@ class CollectorSink final : public EventSink {
 
  private:
   mutable std::mutex mu_;
-  std::vector<Event> events_;
+  std::vector<Event> events_;  // analock: guarded_by(mu_)
 };
 
 }  // namespace analock::obs

@@ -32,7 +32,10 @@ class JsonlSink final : public EventSink {
   void emit(const Event& event) override;
   void flush() override;
 
-  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] bool ok() const {
+    const std::scoped_lock lock(mu_);
+    return file_ != nullptr;
+  }
   [[nodiscard]] const std::string& path() const { return path_; }
 
   /// Serializes one event to its JSON line (no trailing newline).
@@ -44,8 +47,8 @@ class JsonlSink final : public EventSink {
 
  private:
   std::string path_;
-  std::FILE* file_ = nullptr;
-  std::mutex mu_;
+  std::FILE* file_ = nullptr;  // analock: guarded_by(mu_)
+  mutable std::mutex mu_;
 };
 
 }  // namespace analock::obs

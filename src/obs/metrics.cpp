@@ -49,6 +49,7 @@ double Histogram::max() const {
   return max_;
 }
 
+// analock: requires(mu_)
 double Histogram::quantile_locked(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -99,12 +99,12 @@ class Histogram {
   [[nodiscard]] double quantile_locked(double q) const;
 
   mutable std::mutex mu_;
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow)
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::vector<double> bounds_;  // immutable after construction
+  std::vector<std::uint64_t> counts_;  // analock: guarded_by(mu_)
+  std::uint64_t count_ = 0;  // analock: guarded_by(mu_)
+  double sum_ = 0.0;  // analock: guarded_by(mu_)
+  double min_ = 0.0;  // analock: guarded_by(mu_)
+  double max_ = 0.0;  // analock: guarded_by(mu_)
 };
 
 /// The process-wide metric and event hub. Usually accessed through the
@@ -161,13 +161,17 @@ class Registry {
   std::atomic<const Clock*> clock_{nullptr};
 
   mutable std::mutex mu_;
+  // analock: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  // analock: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  // analock: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // analock: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> spans_;
 
   mutable std::mutex sink_mu_;
-  std::unique_ptr<EventSink> sink_;
+  std::unique_ptr<EventSink> sink_;  // analock: guarded_by(sink_mu_)
 };
 
 /// The global registry. First use applies the environment configuration:

@@ -1,0 +1,26 @@
+// Fixture: std::shuffle / std::sample with engines not derived from the
+// seeded sim::Rng streams, plus default-constructed engine declarations.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace fixture {
+
+void bad_shuffle(std::vector<int>& order) {
+  std::mt19937 engine(42);  // literal seed, not a sim stream
+  std::shuffle(order.begin(), order.end(), engine);  // expect: determinism-rng
+}
+
+void bad_sample(const std::vector<int>& pool, std::vector<int>& picked) {
+  std::mt19937_64 engine(7);
+  // expect: determinism-rng
+  std::sample(pool.begin(), pool.end(), std::back_inserter(picked), 3,
+              engine);
+}
+
+void bad_default_decl() {
+  std::mt19937 engine;  // expect: determinism-rng
+  (void)engine;
+}
+
+}  // namespace fixture

@@ -1,0 +1,395 @@
+// Unit tests for the analock-verify engine: lexer edge cases (raw
+// strings, digit separators), the lightweight parser on tricky C++
+// (out-of-line definitions, operator overloads, nested lambdas), the
+// cross-TU call graph, the taint/lock analyses through the public
+// Engine interface, and the SARIF emitter contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/engine.h"
+#include "analysis/lexer.h"
+#include "analysis/model.h"
+#include "analysis/parser.h"
+#include "analysis/sarif.h"
+
+namespace analock::analysis {
+namespace {
+
+SourceFile make_source(std::string path, std::string text) {
+  SourceFile source;
+  source.path = std::move(path);
+  source.text = std::move(text);
+  source.stripped = strip_source(source.text);
+  source.line_starts = compute_line_starts(source.text);
+  return source;
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(StripSource, BlanksLineAndBlockCommentsPreservingLength) {
+  const std::string text = "int a; // trailing\n/* b\nock */int c;\n";
+  const std::string stripped = strip_source(text);
+  ASSERT_EQ(stripped.size(), text.size());
+  EXPECT_EQ(stripped.find("trailing"), std::string::npos);
+  EXPECT_EQ(stripped.find("ock"), std::string::npos);
+  EXPECT_NE(stripped.find("int c"), std::string::npos);
+  // Newlines survive so line numbering is unchanged.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(text.begin(), text.end(), '\n'));
+}
+
+TEST(StripSource, BlanksStringsAndCharsWithEscapes) {
+  const std::string text =
+      "auto s = \"a \\\" quoted // not a comment\"; char c = '\\'';\n";
+  const std::string stripped = strip_source(text);
+  ASSERT_EQ(stripped.size(), text.size());
+  EXPECT_EQ(stripped.find("quoted"), std::string::npos);
+  EXPECT_EQ(stripped.find("not a comment"), std::string::npos);
+  EXPECT_NE(stripped.find("auto s ="), std::string::npos);
+}
+
+TEST(StripSource, HandlesRawStringLiterals) {
+  const std::string text =
+      "auto r = R\"delim(contains \" and )\" and // junk)delim\"; int z;\n";
+  const std::string stripped = strip_source(text);
+  ASSERT_EQ(stripped.size(), text.size());
+  EXPECT_EQ(stripped.find("junk"), std::string::npos);
+  // The raw string's fake terminator must not end stripping early.
+  EXPECT_NE(stripped.find("int z"), std::string::npos);
+}
+
+TEST(StripSource, RawStringWithEncodingPrefix) {
+  const std::string text = "auto r = u8R\"(hi // there)\"; int keep;\n";
+  const std::string stripped = strip_source(text);
+  EXPECT_EQ(stripped.find("there"), std::string::npos);
+  EXPECT_NE(stripped.find("int keep"), std::string::npos);
+}
+
+TEST(Tokenize, DigitSeparatorsStayOneNumberToken) {
+  const std::vector<Token> toks = tokenize("x = 1'000'000;");
+  auto it = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+    return t.kind == TokKind::kNumber;
+  });
+  ASSERT_NE(it, toks.end());
+  EXPECT_EQ(it->text, "1'000'000");
+}
+
+TEST(Tokenize, MultiCharOperatorsAreSingleTokens) {
+  const std::vector<Token> toks = tokenize("a::b->c << d && e");
+  std::vector<std::string> punct;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kPunct) punct.emplace_back(t.text);
+  }
+  EXPECT_EQ(punct, (std::vector<std::string>{"::", "->", "<<", "&&"}));
+}
+
+TEST(SourceFileModel, LineAndColumnOfOffsets) {
+  const SourceFile source = make_source("f.cpp", "abc\ndef\nghi\n");
+  EXPECT_EQ(source.line_of(0), 1);
+  EXPECT_EQ(source.line_of(4), 2);
+  EXPECT_EQ(source.col_of(5), 2);
+  EXPECT_EQ(source.line_text(2), "def");
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(Parser, FindsFreeAndOutOfLineDefinitions) {
+  const SourceFile source = make_source("f.cpp", R"cpp(
+namespace ns {
+int free_fn(int a, double b) { return a; }
+class Widget {
+ public:
+  void inline_method() { free_fn(1, 2.0); }
+};
+void Widget::out_of_line(int x) { (void)x; }
+}  // namespace ns
+)cpp");
+  const ParsedFile parsed = parse_file(source);
+  std::set<std::string> names;
+  for (const FunctionDef& fn : parsed.functions) {
+    names.insert(fn.qualified_name);
+  }
+  EXPECT_TRUE(names.count("ns::free_fn") == 1) << *names.begin();
+  EXPECT_TRUE(names.count("ns::Widget::inline_method") == 1);
+  EXPECT_TRUE(names.count("ns::Widget::out_of_line") == 1);
+}
+
+TEST(Parser, ExtractsParamsTypesAndNames) {
+  const SourceFile source = make_source(
+      "f.cpp", "void f(const std::string& name, int count, double) {}\n");
+  const ParsedFile parsed = parse_file(source);
+  ASSERT_EQ(parsed.functions.size(), 1u);
+  const FunctionDef& fn = parsed.functions[0];
+  ASSERT_EQ(fn.params.size(), 3u);
+  EXPECT_EQ(fn.params[0].name, "name");
+  EXPECT_NE(fn.params[0].type.find("string"), std::string::npos);
+  EXPECT_EQ(fn.params[1].name, "count");
+  EXPECT_EQ(fn.params[2].name, "");  // unnamed
+}
+
+TEST(Parser, OperatorOverloadDefinitionDoesNotDeraill) {
+  const SourceFile source = make_source("f.cpp", R"cpp(
+struct V {
+  V& operator+=(const V& o) { return *this; }
+};
+bool operator==(const V& a, const V& b) { return true; }
+std::ostream& operator<<(std::ostream& os, const V& v) { return os; }
+int after() { return 7; }
+)cpp");
+  const ParsedFile parsed = parse_file(source);
+  std::set<std::string> names;
+  for (const FunctionDef& fn : parsed.functions) names.insert(fn.base_name);
+  // Whatever the operator spellings parse as, the function AFTER them
+  // must still be discovered — the walker cannot lose sync.
+  EXPECT_EQ(names.count("after"), 1u);
+}
+
+TEST(Parser, NestedLambdaCallsAttributeToEnclosingFunction) {
+  const SourceFile source = make_source("f.cpp", R"cpp(
+void outer() {
+  auto f = [](int x) {
+    auto g = [x]() { std::printf("%d", x); };
+    g();
+  };
+  f(3);
+}
+)cpp");
+  const ParsedFile parsed = parse_file(source);
+  ASSERT_EQ(parsed.functions.size(), 1u);
+  const FunctionDef& fn = parsed.functions[0];
+  EXPECT_EQ(fn.base_name, "outer");
+  bool saw_printf = false;
+  for (const CallSite& call : fn.calls) {
+    if (call.base_name == "printf") saw_printf = true;
+  }
+  EXPECT_TRUE(saw_printf);
+}
+
+TEST(Parser, LockGuardScopeAndGuardedMemberAnnotation) {
+  const SourceFile source = make_source("f.cpp", R"cpp(
+class C {
+ public:
+  void m() {
+    {
+      const std::scoped_lock lock(mu_);
+      v_ += 1;
+    }
+    v_ += 2;
+  }
+ private:
+  std::mutex mu_;
+  int v_ = 0;  // analock: guarded_by(mu_)
+};
+)cpp");
+  const ParsedFile parsed = parse_file(source);
+  ASSERT_EQ(parsed.guarded_members.size(), 1u);
+  EXPECT_EQ(parsed.guarded_members[0].class_name, "C");
+  EXPECT_EQ(parsed.guarded_members[0].member_name, "v_");
+  EXPECT_EQ(parsed.guarded_members[0].mutex_name, "mu_");
+  ASSERT_EQ(parsed.functions.size(), 1u);
+  ASSERT_EQ(parsed.functions[0].locks.size(), 1u);
+  const LockHold& hold = parsed.functions[0].locks[0];
+  EXPECT_EQ(hold.mutex_name, "mu_");
+  // The guard's scope ends at the inner block, before the second +=.
+  const std::size_t second = source.stripped.find("v_ += 2");
+  EXPECT_LT(hold.end_offset, second);
+}
+
+TEST(SplitTopLevelArgs, RespectsNesting) {
+  const std::vector<std::string> args =
+      split_top_level_args("a, f(b, c), {d, e}, std::pair<int, int>{}");
+  ASSERT_EQ(args.size(), 4u);
+  EXPECT_EQ(args[0], "a");
+  EXPECT_EQ(args[1], "f(b, c)");
+  EXPECT_EQ(args[2], "{d, e}");
+}
+
+// -------------------------------------------------------------- callgraph
+
+TEST(CallGraphTest, ResolvesAcrossFiles) {
+  const SourceFile a = make_source(
+      "a.cpp", "void helper(int x);\nvoid caller() { helper(1); }\n");
+  const SourceFile b = make_source("b.cpp", "void helper(int x) { (void)x; }\n");
+  std::vector<ParsedFile> files;
+  files.push_back(parse_file(a));
+  files.push_back(parse_file(b));
+  const CallGraph graph(files);
+  const FunctionDef* caller = nullptr;
+  for (const FunctionRef& ref : graph.all()) {
+    if (ref.def().base_name == "caller") caller = &ref.def();
+  }
+  ASSERT_NE(caller, nullptr);
+  ASSERT_EQ(caller->calls.size(), 1u);
+  const std::vector<FunctionRef> targets = graph.resolve(caller->calls[0]);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].file->source->path, "b.cpp");
+}
+
+TEST(CallGraphTest, QualifiedCallPrefersMatchingClass) {
+  const SourceFile source = make_source("f.cpp", R"cpp(
+struct A { void run() {} };
+struct B { void run() {} };
+void go() { A a; a.run(); }
+)cpp");
+  std::vector<ParsedFile> files;
+  files.push_back(parse_file(source));
+  const CallGraph graph(files);
+  CallSite call;
+  call.callee = "A::run";
+  call.base_name = "run";
+  const std::vector<FunctionRef> targets = graph.resolve(call);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].def().class_name, "A");
+}
+
+// ----------------------------------------------------------- engine/taint
+
+TEST(EngineTaint, DirectSinkAndOneHopLaundering) {
+  Engine engine;
+  engine.add_source("direct.cpp",
+                    "void f(unsigned long long key_bits) {\n"
+                    "  std::printf(\"%llx\", key_bits);\n"
+                    "}\n");
+  engine.add_source("hop.cpp",
+                    "std::string format_key(unsigned long long key_word) {\n"
+                    "  return std::to_string(key_word);\n"
+                    "}\n"
+                    "void log_debug(const std::string& m) {\n"
+                    "  std::printf(\"%s\", m.c_str());\n"
+                    "}\n"
+                    "void launder(unsigned long long key_word) {\n"
+                    "  log_debug(format_key(key_word));\n"
+                    "}\n");
+  const std::vector<Finding> findings = engine.run();
+  const std::vector<std::string> rules = rules_of(findings);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "taint-sink"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "taint-call"), rules.end());
+}
+
+TEST(EngineTaint, BenignKeyPrefixesDoNotTaint) {
+  Engine engine;
+  engine.add_source("benign.cpp",
+                    "void f(int key_count, double puf_flip_prob) {\n"
+                    "  std::printf(\"%d %f\", key_count, puf_flip_prob);\n"
+                    "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineTaint, InlineAllowSuppressesOnSameAndNextLine) {
+  Engine engine;
+  engine.add_source(
+      "allowed.cpp",
+      "void f(unsigned long long key_bits) {\n"
+      "  // analock-verify: allow(taint-sink) golden test vector\n"
+      "  std::printf(\"%llx\", key_bits);\n"
+      "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineLocks, UnguardedAccessCaughtGuardedAccessClean) {
+  Engine engine;
+  engine.add_source("tally.cpp",
+                    "class T {\n"
+                    " public:\n"
+                    "  void good() { const std::scoped_lock lock(mu_); "
+                    "n_ += 1; }\n"
+                    "  int bad() const { return n_; }\n"
+                    " private:\n"
+                    "  mutable std::mutex mu_;\n"
+                    "  int n_ = 0;  // analock: guarded_by(mu_)\n"
+                    "};\n");
+  const std::vector<Finding> findings = engine.run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "guarded-by");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(EngineDeterminism, UnorderedAccumulationAndRngSource) {
+  Engine engine;
+  engine.add_source(
+      "det.cpp",
+      "double f(const std::unordered_map<std::string, double>& m) {\n"
+      "  double sum = 0.0;\n"
+      "  for (const auto& kv : m) { sum += kv.second; }\n"
+      "  std::mt19937 gen;\n"
+      "  (void)gen;\n"
+      "  return sum;\n"
+      "}\n");
+  const std::vector<std::string> rules = rules_of(engine.run());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "fp-unordered-accum"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "rng-source"), rules.end());
+}
+
+TEST(EngineDeterminism, SimRngDerivedEngineIsClean) {
+  Engine engine;
+  engine.add_source("ok.cpp",
+                    "void f(sim::Rng& rng) {\n"
+                    "  std::mt19937 gen(rng.next_u32());\n"
+                    "  (void)gen;\n"
+                    "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+// ------------------------------------------------------------------ sarif
+
+TEST(Sarif, EmitsValidShapeWithFingerprints) {
+  Engine engine;
+  engine.add_source("leak.cpp",
+                    "void f(unsigned long long key_bits) {\n"
+                    "  std::printf(\"%llx\", key_bits);\n"
+                    "}\n");
+  const std::vector<Finding> findings = engine.run();
+  ASSERT_FALSE(findings.empty());
+  const std::string sarif = to_sarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"analock-verify\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"taint-sink\""), std::string::npos);
+  EXPECT_NE(sarif.find(kFingerprintKey), std::string::npos);
+  // Round trip: the baseline loader must recover the fingerprint set.
+  const std::set<std::string> loaded = load_baseline_fingerprints(sarif);
+  ASSERT_EQ(loaded.size(), findings.size());
+  for (const Finding& f : findings) {
+    EXPECT_EQ(loaded.count(f.fingerprint), 1u) << f.fingerprint;
+  }
+}
+
+TEST(Sarif, FingerprintStableAcrossLineRenumbering) {
+  const std::string fp1 =
+      compute_fingerprint("taint-sink", "a.cpp", "  printf(x);  ");
+  const std::string fp2 =
+      compute_fingerprint("taint-sink", "a.cpp", "printf(x);");
+  EXPECT_EQ(fp1, fp2);  // whitespace-normalized
+  const std::string fp3 =
+      compute_fingerprint("taint-call", "a.cpp", "printf(x);");
+  EXPECT_NE(fp1, fp3);  // rule participates in identity
+  EXPECT_EQ(fp1.size(), 16u);
+}
+
+TEST(Sarif, JsonEscaping) {
+  std::string out;
+  append_json_escaped(out, "a\"b\\c\nd\te");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te");
+}
+
+TEST(RuleCatalog, KnownRulesRoundTrip) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    EXPECT_TRUE(is_known_rule(rule.id));
+  }
+  EXPECT_FALSE(is_known_rule("no-such-rule"));
+}
+
+}  // namespace
+}  // namespace analock::analysis

@@ -1,0 +1,28 @@
+// Clean fixture: ordinary code that must produce zero findings.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int add(int a, int b) { return a + b; }
+
+double mean(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;  // ordered container: fine
+  }
+  return values.empty() ? 0.0 : sum / static_cast<double>(values.size());
+}
+
+void report(int total) {
+  std::printf("total=%d\n", total);  // no secret involved
+}
+
+void key_layout_dump(const std::map<std::string, int>& key_layout) {
+  // key_layout is a benign-prefixed name, not key material.
+  std::printf("entries=%zu\n", key_layout.size());
+}
+
+}  // namespace fixture

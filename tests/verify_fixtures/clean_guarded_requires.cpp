@@ -1,0 +1,30 @@
+// Clean fixture for lock capabilities: guarded members reached only
+// under their mutex, including through a requires-annotated helper —
+// the helper body is exempt, its call sites must hold the lock.
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class SafeTally {
+ public:
+  void add(std::uint64_t n) {
+    const std::scoped_lock lock(mu_);
+    total_ += n;
+    peak_locked();
+  }
+
+  [[nodiscard]] std::uint64_t peak() const {
+    const std::scoped_lock lock(mu_);
+    return peak_locked();
+  }
+
+ private:
+  // analock: requires(mu_)
+  std::uint64_t peak_locked() const { return total_ > 9 ? total_ : 9; }
+
+  mutable std::mutex mu_;
+  std::uint64_t total_ = 0;  // analock: guarded_by(mu_)
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Clean fixture: real violations silenced by inline allow comments with
+// a rationale — the self-test must see zero findings here.
+#include <cstdio>
+#include <random>
+
+namespace fixture {
+
+void documented_key_dump(unsigned long long key_bits) {
+  // analock-verify: allow(taint-sink) test-vector dump behind a debug flag
+  std::printf("key=%llx\n", key_bits);
+}
+
+int documented_engine() {
+  std::mt19937 gen(12345u);  // analock-verify: allow(rng-source) fixed literal seed for a golden test
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Determinism violation: a floating-point sum accumulated in hash
+// iteration order over an unordered container.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+double total_weight(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [name, w] : weights) {
+    sum += w;  // expect: fp-unordered-accum
+  }
+  return sum;
+}
+
+}  // namespace fixture

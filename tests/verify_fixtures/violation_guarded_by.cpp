@@ -1,0 +1,32 @@
+// guarded_by violations: annotated members touched without the mutex.
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class Tally {
+ public:
+  void add(std::uint64_t n) {
+    const std::scoped_lock lock(mu_);
+    total_ += n;  // guarded access: fine
+  }
+
+  [[nodiscard]] std::uint64_t total_unlocked() const {
+    return total_;  // expect: guarded-by
+  }
+
+  [[nodiscard]] std::uint64_t total_locked() const {
+    const std::scoped_lock lock(mu_);
+    return total_;  // guarded access: fine
+  }
+
+  void bump_unlocked() {
+    total_ += 1;  // expect: guarded-by
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t total_ = 0;  // analock: guarded_by(mu_)
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// RNG-source violations: std <random> engines not derived from the
+// seeded sim::Rng streams.
+#include <random>
+
+namespace fixture {
+
+int default_seeded() {
+  std::mt19937 gen;  // expect: rng-source
+  return static_cast<int>(gen());
+}
+
+int ambient_seeded() {
+  std::random_device rd;
+  std::mt19937_64 gen(rd());  // expect: rng-source
+  return static_cast<int>(gen() & 0x7fffffff);
+}
+
+}  // namespace fixture

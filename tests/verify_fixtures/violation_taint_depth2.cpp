@@ -1,0 +1,20 @@
+// Two-level call chain: the sink is two frames below the tainted call
+// site, exercising the fixpoint propagation of param_to_sink.
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+void emit_line(const std::string& line) {
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void emit_labeled(const std::string& label, const std::string& value) {
+  emit_line(label + "=" + value);  // value flows one level deeper
+}
+
+void chain(const std::string& chip_key_hex) {
+  emit_labeled("chip", chip_key_hex);  // expect: taint-call
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// One-hop laundering: the secret passes through a formatting helper
+// before reaching a sink, and through a logging wrapper whose own body
+// holds the printf. Both directions of the hop must be caught.
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+std::string format_key(unsigned long long key_word) {
+  return std::to_string(key_word);  // carries its param to the return
+}
+
+void log_debug(const std::string& message) {
+  std::printf("[debug] %s\n", message.c_str());  // param 0 reaches a sink
+}
+
+void launder(unsigned long long key_word) {
+  log_debug(format_key(key_word));  // expect: taint-call
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Cross-TU half A: calls a logger defined in violation_taint_xtu_b.cpp.
+// The taint summary for remote_log must cross the TU boundary.
+#include <string>
+
+namespace fixture {
+
+void remote_log(const std::string& message);  // defined in half B
+
+void leak_across_tu(const std::string& wrapped_key_blob) {
+  remote_log(wrapped_key_blob);  // expect: taint-call
+}
+
+}  // namespace fixture

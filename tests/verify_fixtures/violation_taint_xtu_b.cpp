@@ -1,0 +1,12 @@
+// Cross-TU half B: the sink body lives here; half A only sees the
+// declaration.
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+void remote_log(const std::string& message) {
+  std::puts(message.c_str());
+}
+
+}  // namespace fixture

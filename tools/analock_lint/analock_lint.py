@@ -59,6 +59,9 @@ from __future__ import annotations
 
 import argparse
 import fnmatch
+import json
+import multiprocessing
+import os
 import re
 import sys
 from dataclasses import dataclass, field
@@ -77,7 +80,7 @@ RULES = (
 )
 
 SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".h", ".hpp"}
-EXCLUDED_DIR_NAMES = {"build", "lint_fixtures", ".git"}
+EXCLUDED_DIR_NAMES = {"build", "lint_fixtures", "verify_fixtures", ".git"}
 
 # ---------------------------------------------------------------------------
 # Findings and suppression
@@ -388,6 +391,15 @@ DETERMINISM_PATTERNS: list[tuple[str, re.Pattern[str], str]] = [
         "default-seeded <random> engine; derive the seed from sim::Rng::fork",
     ),
     (
+        "determinism-rng",
+        re.compile(
+            r"\b(?:std\s*::\s*)?(?:mt19937(?:_64)?|default_random_engine|"
+            r"minstd_rand0?)\s+\w+\s*;"
+        ),
+        "default-constructed <random> engine declaration; seed it from a "
+        "named sim::Rng stream (Rng::fork)",
+    ),
+    (
         "determinism-clock",
         re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\b"),
         "ambient clock read; inject an obs::Clock so runs replay bit-exactly",
@@ -401,6 +413,58 @@ DETERMINISM_PATTERNS: list[tuple[str, re.Pattern[str], str]] = [
 ]
 
 
+SHUFFLE_SAMPLE_RE = re.compile(r"\bstd\s*::\s*(shuffle|sample)\s*\(")
+
+# Engine arguments derived from the seeded simulation streams mention the
+# stream object or an explicit fork/seed; anything else is ambient.
+SIM_DERIVED_RE = re.compile(r"\brng\b|Rng|fork|\bseed\w*\b|\bgen\w*_rng\b", re.IGNORECASE)
+
+
+def split_call_args(args: str) -> list[str]:
+    """Splits an argument string on top-level commas ((), [], {}, <>)."""
+    out: list[str] = []
+    depth = 0
+    current = []
+    for c in args:
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth = max(0, depth - 1)
+        elif c == "," and depth == 0:
+            out.append("".join(current).strip())
+            current = []
+            continue
+        current.append(c)
+    tail = "".join(current).strip()
+    if tail:
+        out.append(tail)
+    return out
+
+
+def check_shuffle_sample(stripped: str, line_starts: list[int], path: Path) -> list[Finding]:
+    """std::shuffle / std::sample draw from their last argument (the URBG):
+    that engine must come from a seeded sim::Rng stream."""
+    findings: list[Finding] = []
+    for m in SHUFFLE_SAMPLE_RE.finditer(stripped):
+        args, _ = balanced_args(stripped, m.end() - 1)
+        parts = split_call_args(args)
+        if not parts:
+            continue
+        urbg = parts[-1]
+        if SIM_DERIVED_RE.search(urbg):
+            continue
+        findings.append(
+            Finding(
+                path,
+                line_of(m.start(), line_starts),
+                "determinism-rng",
+                f"std::{m.group(1)} draws from engine '{urbg}' that is not "
+                "derived from a seeded sim::Rng stream",
+            )
+        )
+    return findings
+
+
 def check_determinism(stripped: str, line_starts: list[int], path: Path) -> list[Finding]:
     findings: list[Finding] = []
     for rule, pattern, message in DETERMINISM_PATTERNS:
@@ -408,6 +472,7 @@ def check_determinism(stripped: str, line_starts: list[int], path: Path) -> list
             findings.append(
                 Finding(path, line_of(m.start(), line_starts), rule, message)
             )
+    findings += check_shuffle_sample(stripped, line_starts, path)
     return findings
 
 
@@ -602,7 +667,20 @@ def iter_sources(roots: list[Path]) -> list[Path]:
     return out
 
 
-def run_tree(root: Path, paths: list[str], allowlist_path: Path | None) -> int:
+def rel_to_root(path: Path, root: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        return str(path)
+
+
+def run_tree(
+    root: Path,
+    paths: list[str],
+    allowlist_path: Path | None,
+    jobs: int = 1,
+    output_format: str = "text",
+) -> int:
     allow = Allowlist()
     if allowlist_path is not None and allowlist_path.exists():
         allow = Allowlist.load(allowlist_path)
@@ -611,22 +689,48 @@ def run_tree(root: Path, paths: list[str], allowlist_path: Path | None) -> int:
     if not files:
         print("analock-lint: no source files found", file=sys.stderr)
         return 2
+
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs > 1 and len(files) > 1:
+        # lint_file is pure (path in, findings out), so files fan out to a
+        # process pool; results return in submission order, keeping output
+        # identical to the serial scan.
+        with multiprocessing.Pool(processes=min(jobs, len(files))) as pool:
+            per_file = pool.map(lint_file, files)
+    else:
+        per_file = [lint_file(path) for path in files]
+
     all_findings: list[Finding] = []
-    for path in files:
-        for f in lint_file(path):
-            try:
-                rel = str(path.resolve().relative_to(root.resolve()))
-            except ValueError:
-                rel = str(path)
+    for path, findings in zip(files, per_file):
+        rel = rel_to_root(path, root)
+        for f in findings:
             if allow.permits(f.rule, rel):
                 continue
             all_findings.append(f)
-    for f in all_findings:
-        print(f.render(root))
-    print(
-        f"analock-lint: scanned {len(files)} files, "
-        f"{len(all_findings)} finding(s)"
-    )
+
+    if output_format == "json":
+        payload = {
+            "tool": "analock-lint",
+            "scanned_files": len(files),
+            "findings": [
+                {
+                    "file": rel_to_root(f.path, root),
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                }
+                for f in all_findings
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for f in all_findings:
+            print(f.render(root))
+        print(
+            f"analock-lint: scanned {len(files)} files, "
+            f"{len(all_findings)} finding(s)"
+        )
     return 1 if all_findings else 0
 
 
@@ -716,12 +820,29 @@ def main(argv: list[str]) -> int:
         help="run the golden-fixture self test instead of a tree scan",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="scan N files in parallel (0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="findings output format for tree scans (default text)",
+    )
+    parser.add_argument(
         "paths",
         nargs="*",
         help="subpaths of --root to scan (default: the whole root)",
     )
     args = parser.parse_args(argv)
 
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
     if args.self_test is not None:
         return run_self_test(args.self_test)
     if args.root is None:
@@ -729,7 +850,13 @@ def main(argv: list[str]) -> int:
     allowlist = args.allowlist
     if allowlist is None:
         allowlist = args.root / "tools" / "analock_lint" / "allowlist.conf"
-    return run_tree(args.root, args.paths, allowlist)
+    return run_tree(
+        args.root,
+        args.paths,
+        allowlist,
+        jobs=args.jobs,
+        output_format=args.output_format,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Structural validator for analock-verify SARIF output.
+
+Checks the emitted log against the SARIF v2.1.0 shape we rely on
+downstream (GitHub code scanning, baseline diffing) without needing the
+jsonschema package: required top-level fields, run/tool/driver layout,
+rule metadata, and per-result ruleId/ruleIndex/message/location/
+fingerprint integrity.
+
+Exit codes: 0 = valid, 1 = validation failure, 2 = usage/IO error.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA_FRAGMENT = "sarif-schema-2.1.0.json"
+FINGERPRINT_KEY = "analockFingerprint/v1"
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def check_result(result: object, index: int, rule_ids: list[str],
+                 errors: list[str]) -> None:
+    prefix = f"results[{index}]"
+    if not isinstance(result, dict):
+        fail(errors, f"{prefix}: not an object")
+        return
+    rule_id = result.get("ruleId")
+    if not isinstance(rule_id, str) or not rule_id:
+        fail(errors, f"{prefix}: missing ruleId")
+    elif rule_id not in rule_ids:
+        fail(errors, f"{prefix}: ruleId '{rule_id}' not in driver rules")
+    rule_index = result.get("ruleIndex")
+    if not isinstance(rule_index, int) or not 0 <= rule_index < len(rule_ids):
+        fail(errors, f"{prefix}: ruleIndex out of range")
+    elif isinstance(rule_id, str) and rule_ids[rule_index] != rule_id:
+        fail(errors, f"{prefix}: ruleIndex does not match ruleId")
+    if result.get("level") not in ("warning", "error", "note", "none"):
+        fail(errors, f"{prefix}: invalid level")
+    message = result.get("message")
+    if not isinstance(message, dict) or not isinstance(
+            message.get("text"), str) or not message["text"]:
+        fail(errors, f"{prefix}: missing message.text")
+    locations = result.get("locations")
+    if not isinstance(locations, list) or not locations:
+        fail(errors, f"{prefix}: missing locations")
+    else:
+        physical = locations[0].get("physicalLocation") if isinstance(
+            locations[0], dict) else None
+        if not isinstance(physical, dict):
+            fail(errors, f"{prefix}: missing physicalLocation")
+        else:
+            artifact = physical.get("artifactLocation")
+            if not isinstance(artifact, dict) or not isinstance(
+                    artifact.get("uri"), str) or not artifact["uri"]:
+                fail(errors, f"{prefix}: missing artifactLocation.uri")
+            region = physical.get("region")
+            if not isinstance(region, dict):
+                fail(errors, f"{prefix}: missing region")
+            else:
+                for field in ("startLine", "startColumn"):
+                    value = region.get(field)
+                    if not isinstance(value, int) or value < 1:
+                        fail(errors, f"{prefix}: region.{field} must be >= 1")
+    fingerprints = result.get("partialFingerprints")
+    if not isinstance(fingerprints, dict):
+        fail(errors, f"{prefix}: missing partialFingerprints")
+    else:
+        value = fingerprints.get(FINGERPRINT_KEY)
+        if not isinstance(value, str) or len(value) != 16:
+            fail(errors,
+                 f"{prefix}: {FINGERPRINT_KEY} must be a 16-char hash")
+
+
+def validate(doc: object, require_results: bool) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level: not a JSON object"]
+    schema = doc.get("$schema")
+    if not isinstance(schema, str) or EXPECTED_SCHEMA_FRAGMENT not in schema:
+        fail(errors, "top level: $schema does not reference SARIF 2.1.0")
+    if doc.get("version") != "2.1.0":
+        fail(errors, "top level: version must be '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        fail(errors, "top level: expected exactly one run")
+        return errors
+    run = runs[0]
+    if not isinstance(run, dict):
+        return errors + ["runs[0]: not an object"]
+    driver = run.get("tool", {}).get("driver") if isinstance(
+        run.get("tool"), dict) else None
+    if not isinstance(driver, dict):
+        fail(errors, "runs[0]: missing tool.driver")
+        return errors
+    if driver.get("name") != "analock-verify":
+        fail(errors, "driver: name must be 'analock-verify'")
+    if not isinstance(driver.get("version"), str):
+        fail(errors, "driver: missing version")
+    rules = driver.get("rules")
+    rule_ids: list[str] = []
+    if not isinstance(rules, list) or not rules:
+        fail(errors, "driver: missing rules array")
+    else:
+        for i, rule in enumerate(rules):
+            rid = rule.get("id") if isinstance(rule, dict) else None
+            if not isinstance(rid, str) or not rid:
+                fail(errors, f"rules[{i}]: missing id")
+                rid = ""
+            short = rule.get("shortDescription") if isinstance(
+                rule, dict) else None
+            if not isinstance(short, dict) or not isinstance(
+                    short.get("text"), str):
+                fail(errors, f"rules[{i}]: missing shortDescription.text")
+            rule_ids.append(rid)
+    results = run.get("results")
+    if not isinstance(results, list):
+        fail(errors, "runs[0]: missing results array")
+        return errors
+    if require_results and not results:
+        fail(errors, "runs[0]: results is empty but --require-results set")
+    for i, result in enumerate(results):
+        check_result(result, i, rule_ids, errors)
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sarif", help="path to the SARIF file to validate")
+    parser.add_argument(
+        "--require-results", action="store_true",
+        help="fail when the log contains zero results (guards against "
+        "validating a trivially empty emission)")
+    args = parser.parse_args()
+    try:
+        with open(args.sarif, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        print(f"check_sarif: cannot read {args.sarif}: {exc}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"check_sarif: {args.sarif} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    errors = validate(doc, args.require_results)
+    if errors:
+        for error in errors:
+            print(f"check_sarif: {error}", file=sys.stderr)
+        return 1
+    result_count = len(doc["runs"][0]["results"])
+    print(f"check_sarif: OK ({result_count} result(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

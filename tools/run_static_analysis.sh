@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Runs the full static-analysis stack over the repository:
 #
-#   1. analock-lint tree scan      (domain rules; always available)
+#   1. analock-lint tree scan      (domain regex rules; always available)
 #   2. analock-lint fixture self-test (the linter's own golden tests)
-#   3. clang-tidy                  (curated .clang-tidy profile; skipped
+#   3. analock-verify              (the C++ deep analyzer: interprocedural
+#                                   secret taint, guarded_by lock checks,
+#                                   determinism dataflow; built on demand)
+#   4. analock-verify self-test    (golden // expect: fixtures)
+#   5. clang-tidy                  (curated .clang-tidy profile; skipped
 #                                   with a notice when not installed)
 #
 # Usage: tools/run_static_analysis.sh [build-dir]
 #
-# The build dir (default: build) is only needed for clang-tidy, which
-# wants a compile_commands.json; it is (re)configured with
-# CMAKE_EXPORT_COMPILE_COMMANDS=ON if the database is missing.
+# The build dir (default: build) hosts the analock_verify binary and the
+# compile_commands.json consumed by clang-tidy; the top-level CMakeLists
+# exports the database unconditionally, so one configure serves both.
+# analock-verify also writes analock_verify.sarif into the build dir and
+# validates it against the SARIF 2.1.0 structure (check_sarif.py).
 #
 # Exit status is non-zero if any stage that actually ran found problems.
 set -u
@@ -18,16 +24,46 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 LINT="$ROOT/tools/analock_lint/analock_lint.py"
+VERIFY_BIN="$BUILD_DIR/tools/analock_verify/analock_verify"
 STATUS=0
 
 echo "== analock-lint: tree scan =="
-if ! python3 "$LINT" --root "$ROOT" src bench examples tests tools; then
+if ! python3 "$LINT" --root "$ROOT" --jobs 0 src bench examples tests tools; then
   STATUS=1
 fi
 
 echo
 echo "== analock-lint: fixture self-test =="
 if ! python3 "$LINT" --self-test "$ROOT/tests/lint_fixtures"; then
+  STATUS=1
+fi
+
+echo
+echo "== analock-verify: deep analysis =="
+if [ ! -x "$VERIFY_BIN" ]; then
+  echo "analock_verify not built; configuring and building..."
+  cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null \
+    && cmake --build "$BUILD_DIR" --target analock_verify -j >/dev/null
+fi
+if [ -x "$VERIFY_BIN" ]; then
+  SARIF_OUT="$BUILD_DIR/analock_verify.sarif"
+  if ! "$VERIFY_BIN" --root "$ROOT/src" \
+      --diff-baseline "$ROOT/tools/analock_verify/baseline.sarif" \
+      --sarif "$SARIF_OUT"; then
+    STATUS=1
+  fi
+  echo
+  echo "== analock-verify: fixture self-test =="
+  if ! "$VERIFY_BIN" --self-test "$ROOT/tests/verify_fixtures"; then
+    STATUS=1
+  fi
+  echo
+  echo "== analock-verify: SARIF structure check =="
+  if ! python3 "$ROOT/tools/analock_verify/check_sarif.py" "$SARIF_OUT"; then
+    STATUS=1
+  fi
+else
+  echo "could not build analock_verify; failing the run."
   STATUS=1
 fi
 
@@ -41,8 +77,7 @@ fi
 
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   echo "no compile_commands.json in $BUILD_DIR; configuring..."
-  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    >/dev/null || exit 1
+  cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null || exit 1
 fi
 
 # Product sources only: tests/benches link against gtest/benchmark whose
