@@ -2,8 +2,6 @@
 // carry the locking strength? Corrupt one sub-field class at a time
 // (capacitors only / biases only / mode bits only / VGLNA only) with
 // random values and measure the damage.
-#include <benchmark/benchmark.h>
-
 #include <vector>
 
 #include "bench_common.h"
@@ -56,7 +54,8 @@ void run_ablation() {
     double mean = 0.0;
     double worst = 1e9;
     double best = -1e9;
-    const int trials = 12;
+    // ANALOCK_BENCH_TRIALS scales the corruption sweep for CI smoke runs.
+    const int trials = static_cast<int>(bench::trials_budget(12));
     for (int t = 0; t < trials; ++t) {
       Key64 k = chip.cal.key;
       for (const auto& f : s.fields) {
@@ -81,11 +80,10 @@ void run_ablation() {
               "a performance only once the rest are correct)\n");
 }
 
-void BM_Ablation(benchmark::State& state) {
-  for (auto _ : state) run_ablation();
-}
-BENCHMARK(BM_Ablation)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_ablation_subfields");
+  h.add_case("ablation", run_ablation);
+  return h.run();
+}

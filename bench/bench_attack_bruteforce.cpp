@@ -2,8 +2,6 @@
 // programming-bit combinations against the oracle, with the paper's
 // per-trial cost projection (20 simulated minutes per SNR point;
 // re-fabbed hardware trials at ~10 ms each).
-#include <benchmark/benchmark.h>
-
 #include <algorithm>
 
 #include "attack/brute_force.h"
@@ -64,11 +62,10 @@ void run_bruteforce() {
                   attack::expected_trials(64, std::pow(2.0, -40.0))));
 }
 
-void BM_BruteForce(benchmark::State& state) {
-  for (auto _ : state) run_bruteforce();
-}
-BENCHMARK(BM_BruteForce)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_attack_bruteforce");
+  h.add_case("bruteforce", run_bruteforce);
+  return h.run();
+}

@@ -3,8 +3,6 @@
 // genetic algorithm over raw keys, from cold starts and with
 // reverse-engineered mode bits, plus the warm-start (gradient) attack
 // from a key leaked off another chip.
-#include <benchmark/benchmark.h>
-
 #include "attack/multi_objective.h"
 #include "attack/warm_start.h"
 #include "bench_common.h"
@@ -84,11 +82,10 @@ void run_multiobjective() {
               "minutes unless the attacker re-fabricates\n");
 }
 
-void BM_MultiObjective(benchmark::State& state) {
-  for (auto _ : state) run_multiobjective();
-}
-BENCHMARK(BM_MultiObjective)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_attack_multiobjective");
+  h.add_case("multiobjective", run_multiobjective);
+  return h.run();
+}

@@ -3,8 +3,6 @@
 // function of how much of the secret procedure the attacker has
 // reconstructed. This is the metric the paper says "will need to be
 // devised".
-#include <benchmark/benchmark.h>
-
 #include "attack/retrace.h"
 #include "bench_common.h"
 
@@ -54,11 +52,10 @@ void run_retrace() {
               "boundary.\n");
 }
 
-void BM_Retrace(benchmark::State& state) {
-  for (auto _ : state) run_retrace();
-}
-BENCHMARK(BM_Retrace)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_attack_retrace");
+  h.add_case("retrace", run_retrace);
+  return h.run();
+}

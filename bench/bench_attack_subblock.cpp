@@ -2,8 +2,6 @@
 // divide-and-conquer attack — per-field optimization in isolation vs in
 // conditioned (calibration) order, demonstrating why the internal
 // feedback loop defeats divide-and-conquer key recovery.
-#include <benchmark/benchmark.h>
-
 #include "attack/subblock.h"
 #include "bench_common.h"
 
@@ -52,11 +50,10 @@ void run_subblock() {
               "the rest of the loop is conditioned appropriately\n");
 }
 
-void BM_SubBlock(benchmark::State& state) {
-  for (auto _ : state) run_subblock();
-}
-BENCHMARK(BM_SubBlock)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_attack_subblock");
+  h.add_case("subblock", run_subblock);
+  return h.run();
+}

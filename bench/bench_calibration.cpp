@@ -2,8 +2,6 @@
 // Monte-Carlo chips — convergence, per-chip key uniqueness, and the
 // measurement budget (each measurement is a 20-minute transistor-level
 // simulation in the paper's setting, or an ATE test insertion).
-#include <benchmark/benchmark.h>
-
 #include <algorithm>
 #include <vector>
 
@@ -24,7 +22,10 @@ void run_calibration() {
   bench::banner("Sec. V.B — 14-step calibration across Monte-Carlo chips",
                 "convergence, chip-unique keys, measurement budget");
 
-  const int n_chips = 8;
+  // At least two chips so pairwise key-uniqueness stays meaningful even
+  // at ANALOCK_BENCH_TRIALS=1.
+  const int n_chips =
+      std::max(2, static_cast<int>(bench::trials_budget(8)));
   std::vector<bench::Chip> chips;
   std::printf("%5s %5s %10s %8s %8s %8s %9s %6s %22s\n", "chip", "ok",
               "ferr[kHz]", "SNRmod", "SNRrx", "SFDR", "measures", "caps",
@@ -88,11 +89,10 @@ void run_calibration() {
               chips[0].cal.total_measurements);
 }
 
-void BM_Calibration(benchmark::State& state) {
-  for (auto _ : state) run_calibration();
-}
-BENCHMARK(BM_Calibration)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_calibration");
+  h.add_case("calibration", run_calibration);
+  return h.run();
+}

@@ -1,6 +1,6 @@
 // Shared plumbing for the paper-experiment benches: chip fabrication +
 // calibration, deceptive-key construction, observability session
-// management, and table printing.
+// management, the profiling harness, and table printing.
 #pragma once
 
 #include <cstdio>
@@ -15,11 +15,19 @@
 #include "lock/evaluator.h"
 #include "lock/key_layout.h"
 #include "obs/obs.h"
+#include "obs/prof/prof.h"
 #include "rf/standards.h"
 #include "sim/process.h"
 #include "sim/rng.h"
 
 namespace analock::bench {
+
+// The profiling/benchmark harness (src/obs/prof/): every bench main
+// registers its cases on a Harness and returns h.run(), which emits the
+// BENCH_<name>.json trajectory artifact and the folded-stacks profile.
+using prof::CaseOptions;
+using prof::Harness;
+using prof::do_not_optimize;
 
 /// Enables observability for the lifetime of a bench process and streams
 /// the event record to `<bench_name>.jsonl` in the working directory.
@@ -71,15 +79,24 @@ class ObsSession {
   std::string artifact_;
 };
 
-/// Attack-budget override so CI can run a bench as a fast smoke test:
-/// ANALOCK_BENCH_TRIALS replaces the per-attack oracle budget when set.
+/// Workload budget so CI can run a bench as a fast smoke test:
+/// ANALOCK_BENCH_TRIALS replaces per-attack oracle budgets and scales
+/// sweep sizes when set. Parsing lives in the harness (prof::bench_env)
+/// so every bench honors the knob identically.
 inline std::uint64_t trials_budget(std::uint64_t fallback) {
-  if (const char* env = std::getenv("ANALOCK_BENCH_TRIALS")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && v > 0) return v;
-  }
-  return fallback;
+  return prof::trials_budget(fallback);
+}
+
+/// `n` scaled proportionally to the trials budget relative to `ref`
+/// (e.g. scaled_by_budget(100000, 100) is 1000 at ANALOCK_BENCH_TRIALS=1
+/// and 100000 by default). Never returns less than 1.
+inline int scaled_by_budget(int n, std::uint64_t ref) {
+  const std::uint64_t budget = trials_budget(ref);
+  if (budget >= ref) return n;
+  const double scale =
+      static_cast<double>(budget) / static_cast<double>(ref);
+  const int scaled = static_cast<int>(static_cast<double>(n) * scale);
+  return scaled < 1 ? 1 : scaled;
 }
 
 /// One fabricated + calibrated chip instance.

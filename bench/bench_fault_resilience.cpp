@@ -14,8 +14,6 @@
 // tables regenerate bit-exactly; the reproducibility self-check at the
 // top draws the same campaign twice and compares CRCs of the raw fault
 // stream.
-#include <benchmark/benchmark.h>
-
 #include <algorithm>
 #include <cstdint>
 #include <vector>
@@ -344,11 +342,10 @@ void run_fault_resilience() {
               {"session_ok", stressed_session}});
 }
 
-void BM_FaultResilience(benchmark::State& state) {
-  for (auto _ : state) run_fault_resilience();
-}
-BENCHMARK(BM_FaultResilience)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_fault_resilience");
+  h.add_case("fault_resilience", run_fault_resilience);
+  return h.run();
+}

@@ -5,8 +5,6 @@
 // Paper shape: correct key > 40 dB; every invalid key < 30 dB; most
 // invalid keys < 0 dB; a handful above 10 dB with one "deceptive" key
 // near 30 dB (loop open + comparator as buffer).
-#include <benchmark/benchmark.h>
-
 #include <algorithm>
 
 #include "bench_common.h"
@@ -36,8 +34,10 @@ void run_fig07() {
   std::vector<double> invalid;
   int best_idx = -1;
   double best = -1e9;
+  // ANALOCK_BENCH_TRIALS scales the invalid-key sweep for CI smoke runs.
+  const int n_invalid = static_cast<int>(bench::trials_budget(100));
   std::printf("%-6s %-20s %10s\n", "index", "key", "SNR [dB]");
-  for (int i = 0; i < 100; ++i) {
+  for (int i = 0; i < n_invalid; ++i) {
     const lock::Key64 k = lock::Key64::random(key_rng);
     const double snr = bench::display_snr(ev.snr_modulator_db(k));
     invalid.push_back(snr);
@@ -55,19 +55,18 @@ void run_fig07() {
       std::count_if(invalid.begin(), invalid.end(),
                     [](double s) { return s > 10.0; });
   std::printf("\nsummary: correct=%.2f dB | invalid max=%.2f dB (index %d, "
-              "the 'deceptive' key) | %lld/100 below 0 dB | %lld/100 above "
+              "the 'deceptive' key) | %lld/%d below 0 dB | %lld/%d above "
               "10 dB\n",
-              correct, best, best_idx, (long long)below_zero,
-              (long long)above_10);
+              correct, best, best_idx, (long long)below_zero, n_invalid,
+              (long long)above_10, n_invalid);
   std::printf("paper:   correct>40 dB | all invalid <30 dB | most <0 dB | "
               "4 above 10 dB, deceptive ~30 dB\n");
 }
 
-void BM_Fig07(benchmark::State& state) {
-  for (auto _ : state) run_fig07();
-}
-BENCHMARK(BM_Fig07)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_fig07_snr_modulator");
+  h.add_case("fig07", run_fig07);
+  return h.run();
+}

@@ -2,8 +2,6 @@
 // modulator for the correct key (an oversampled +/-1 bitstream) and the
 // deceptive invalid key (an analog waveform — no analog-to-digital
 // conversion happening).
-#include <benchmark/benchmark.h>
-
 #include <cmath>
 #include <set>
 
@@ -88,11 +86,10 @@ void run_fig08() {
               "key #7 output is an analog waveform with no A/D conversion\n");
 }
 
-void BM_Fig08(benchmark::State& state) {
-  for (auto _ : state) run_fig08();
-}
-BENCHMARK(BM_Fig08)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_fig08_transient");
+  h.add_case("fig08", run_fig08);
+  return h.run();
+}

@@ -5,8 +5,6 @@
 // Paper shape: correct key unchanged (>40 dB); every invalid key below
 // 10 dB — including the deceptive key, whose analog waveform collapses in
 // the digital section.
-#include <benchmark/benchmark.h>
-
 #include <algorithm>
 
 #include "bench_common.h"
@@ -39,7 +37,9 @@ void run_fig09() {
   int below_10 = 0;
   int sfdr_locked = 0;
   double best_rx = -1e9;
-  for (int i = 0; i < 100; ++i) {
+  // ANALOCK_BENCH_TRIALS scales the invalid-key sweep for CI smoke runs.
+  const int n_invalid = static_cast<int>(bench::trials_budget(100));
+  for (int i = 0; i < n_invalid; ++i) {
     const lock::Key64 k = lock::Key64::random(key_rng);
     const double mod = bench::display_snr(ev.snr_modulator_db(k));
     const double rx = bench::display_snr(ev.snr_receiver_db(k));
@@ -54,18 +54,17 @@ void run_fig09() {
     std::printf("%-6d %12.2f %12.2f %10s\n", i, mod, rx,
                 locked ? "yes" : "NO");
   }
-  std::printf("\nsummary: correct rx=%.2f dB | %d/100 invalid below 10 dB | "
+  std::printf("\nsummary: correct rx=%.2f dB | %d/%d invalid below 10 dB | "
               "best invalid rx=%.2f dB | %d locked only by SFDR | all "
               "locked by at least one performance\n",
-              correct_rx, below_10, best_rx, sfdr_locked);
+              correct_rx, below_10, n_invalid, best_rx, sfdr_locked);
   std::printf("paper:   correct unchanged; all invalid keys < 10 dB\n");
 }
 
-void BM_Fig09(benchmark::State& state) {
-  for (auto _ : state) run_fig09();
-}
-BENCHMARK(BM_Fig09)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_fig09_snr_receiver");
+  h.add_case("fig09", run_fig09);
+  return h.run();
+}

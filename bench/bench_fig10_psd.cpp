@@ -2,8 +2,6 @@
 // output for the correct key (deep noise-shaping notch at fs/4, shaped
 // noise rising away from it) and the deceptive invalid key (no noise
 // shaping at all).
-#include <benchmark/benchmark.h>
-
 #include <cmath>
 #include <vector>
 
@@ -79,11 +77,10 @@ void run_fig10() {
               "notch; for the invalid key there is no noise shaping\n");
 }
 
-void BM_Fig10(benchmark::State& state) {
-  for (auto _ : state) run_fig10();
-}
-BENCHMARK(BM_Fig10)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_fig10_psd");
+  h.add_case("fig10", run_fig10);
+  return h.run();
+}

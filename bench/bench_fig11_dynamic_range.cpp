@@ -2,8 +2,6 @@
 // with the three per-segment VGLNA gain settings, for the correct key and
 // the deceptive invalid key. Input swept -85..0 dBm in 5 dB steps;
 // segments [-85:-45], [-60:-20], [-40:0] dBm.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.h"
 
 namespace {
@@ -62,11 +60,10 @@ void run_fig11() {
               "the whole input range\n");
 }
 
-void BM_Fig11(benchmark::State& state) {
-  for (auto _ : state) run_fig11();
-}
-BENCHMARK(BM_Fig11)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_fig11_dynamic_range");
+  h.add_case("fig11", run_fig11);
+  return h.run();
+}

@@ -2,8 +2,6 @@
 // equal powers) for the correct key and the deceptive invalid key, swept
 // over the per-tone input power. SFDR = fundamental minus third-order
 // product.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.h"
 
 namespace {
@@ -40,11 +38,10 @@ void run_fig12() {
   std::printf("paper:   the locked circuit has a much lower SFDR\n");
 }
 
-void BM_Fig12(benchmark::State& state) {
-  for (auto _ : state) run_fig12();
-}
-BENCHMARK(BM_Fig12)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_fig12_sfdr");
+  h.add_case("fig12", run_fig12);
+  return h.run();
+}

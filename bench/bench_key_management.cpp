@@ -1,9 +1,7 @@
 // Experiment E12 (paper Fig. 3): key-management schemes — tamper-proof
-// LUT vs PUF+XOR. Measures load latency (true google-benchmark timing),
+// LUT vs PUF+XOR. Measures load latency (harness-timed microbenchmarks),
 // storage overhead, recovery correctness, and the PUF statistics that the
 // anti-cloning/anti-recycling arguments rest on.
-#include <benchmark/benchmark.h>
-
 #include "bench_common.h"
 
 namespace {
@@ -86,45 +84,54 @@ void run_report() {
               "are loaded at every power-on\n");
 }
 
-void BM_Report(benchmark::State& state) {
-  for (auto _ : state) run_report();
-}
-BENCHMARK(BM_Report)->Unit(benchmark::kSecond)->Iterations(1);
-
-/// Load-latency microbenchmarks (the per-power-on cost of each scheme).
-void BM_LutLoad(benchmark::State& state) {
-  TamperProofLutScheme lut(6);
-  sim::Rng rng(1);
-  lut.provision(0, Key64::random(rng));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(lut.load(0));
-  }
-}
-BENCHMARK(BM_LutLoad);
-
-void BM_PufXorLoad(benchmark::State& state) {
-  sim::Rng master(2);
-  ArbiterPuf puf(master);
-  PufXorScheme scheme(puf, 6);
-  sim::Rng rng(3);
-  scheme.provision(0, Key64::random(rng));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(scheme.load(0));
-  }
-}
-BENCHMARK(BM_PufXorLoad);
-
-void BM_PufResponse(benchmark::State& state) {
-  sim::Rng master(4);
-  ArbiterPuf puf(master);
-  std::uint64_t challenge = 0x123456789ABCDEFull;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(puf.response(challenge));
-    challenge = challenge * 6364136223846793005ULL + 1;
-  }
-}
-BENCHMARK(BM_PufResponse);
+/// Inner-loop sizes for the load-latency microbenchmarks (the
+/// per-power-on cost of each scheme); the harness divides by these
+/// via CaseOptions::ops_per_rep.
+constexpr int kLoadOps = 256;
+constexpr int kResponseOps = 4096;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  using namespace analock;
+  analock::bench::Harness h("bench_key_management");
+  h.add_case("report", run_report);
+
+  bench::CaseOptions load_opts;
+  load_opts.ops_per_rep = static_cast<double>(kLoadOps);
+  h.add_case("lut_load", [] {
+    TamperProofLutScheme lut(6);
+    sim::Rng rng(1);
+    lut.provision(0, Key64::random(rng));
+    for (int i = 0; i < kLoadOps; ++i) {
+      auto k = lut.load(0);
+      bench::do_not_optimize(k);
+    }
+  }, load_opts);
+  h.add_case("pufxor_load", [] {
+    sim::Rng master(2);
+    ArbiterPuf puf(master);
+    PufXorScheme scheme(puf, 6);
+    sim::Rng rng(3);
+    scheme.provision(0, Key64::random(rng));
+    for (int i = 0; i < kLoadOps; ++i) {
+      auto k = scheme.load(0);
+      bench::do_not_optimize(k);
+    }
+  }, load_opts);
+
+  bench::CaseOptions response_opts;
+  response_opts.ops_per_rep = static_cast<double>(kResponseOps);
+  h.add_case("puf_response", [] {
+    sim::Rng master(4);
+    ArbiterPuf puf(master);
+    std::uint64_t challenge = 0x123456789ABCDEFull;
+    for (int i = 0; i < kResponseOps; ++i) {
+      bool bit = puf.response(challenge);
+      bench::do_not_optimize(bit);
+      challenge = challenge * 6364136223846793005ULL + 1;
+    }
+  }, response_opts);
+
+  return h.run();
+}

@@ -2,8 +2,6 @@
 // fraction of random keys meeting the specification, the mission-mode
 // prior, uniqueness of binary-weighted capacitor sub-keys, and the
 // resulting search-space projections.
-#include <benchmark/benchmark.h>
-
 #include <algorithm>
 #include <cmath>
 #include <set>
@@ -30,9 +28,10 @@ void run_keyspace() {
                 "unlocking fraction, mode-bit prior, cap sub-key uniqueness");
 
   // Mission-mode prior: 6 mode bits must all be correct.
+  // Sweep sizes scale with ANALOCK_BENCH_TRIALS for CI smoke runs.
   sim::Rng rng(555);
   int mission = 0;
-  const int n_prior = 100000;
+  const int n_prior = bench::scaled_by_budget(100000, 100);
   for (int i = 0; i < n_prior; ++i) {
     if (lock::is_mission_mode(lock::Key64::random(rng))) ++mission;
   }
@@ -41,7 +40,7 @@ void run_keyspace() {
 
   // Unlocking fraction of random keys (SNR screen + full spec).
   sim::Rng key_rng(556);
-  const int n_keys = 500;
+  const int n_keys = bench::scaled_by_budget(500, 100);
   int screen_pass = 0;
   int unlocked = 0;
   for (int i = 0; i < n_keys; ++i) {
@@ -114,11 +113,10 @@ void run_keyspace() {
               attack::simulation_years(attack::expected_trials(64, 1e-6)));
 }
 
-void BM_Keyspace(benchmark::State& state) {
-  for (auto _ : state) run_keyspace();
-}
-BENCHMARK(BM_Keyspace)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_keyspace");
+  h.add_case("keyspace", run_keyspace);
+  return h.run();
+}

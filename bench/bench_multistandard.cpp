@@ -2,8 +2,6 @@
 // experiment was repeated for other center frequencies and qualitatively
 // the results were identical" — calibrate and lock-check the receiver at
 // every supported standard.
-#include <benchmark/benchmark.h>
-
 #include <algorithm>
 #include <vector>
 
@@ -32,7 +30,9 @@ void run_multistandard() {
     sim::Rng key_rng(888);
     double best_inv = -1e9;
     double worst_inv = 1e9;
-    for (int i = 0; i < 20; ++i) {
+    // ANALOCK_BENCH_TRIALS scales the invalid-key sweep for CI smoke runs.
+    const int n_invalid = static_cast<int>(bench::trials_budget(20));
+    for (int i = 0; i < n_invalid; ++i) {
       const double rx = bench::display_snr(
           ev.snr_receiver_db(lock::Key64::random(key_rng)));
       best_inv = std::max(best_inv, rx);
@@ -47,11 +47,10 @@ void run_multistandard() {
               "center frequency in the 1.5-3.0 GHz range\n");
 }
 
-void BM_MultiStandard(benchmark::State& state) {
-  for (auto _ : state) run_multistandard();
-}
-BENCHMARK(BM_MultiStandard)->Unit(benchmark::kSecond)->Iterations(1);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  analock::bench::Harness h("bench_multistandard");
+  h.add_case("multistandard", run_multistandard);
+  return h.run();
+}

@@ -1,10 +1,9 @@
 // Experiment E7d (paper Section VI.B.1 timing claims): per-trial
 // measurement cost. The paper reports ~20 minutes per SNR point, ~3 hours
 // per input-range sweep and ~30 minutes per SFDR point on transistor-level
-// simulation. These google-benchmarks time the behavioral equivalents and
-// print the projected silicon-simulation cost side by side.
-#include <benchmark/benchmark.h>
-
+// simulation. These harness cases time the behavioral equivalents; each
+// case carries the paper's projected silicon-simulation cost as a note in
+// the BENCH_*.json artifact.
 #include "attack/cost_model.h"
 #include "bench_common.h"
 
@@ -30,52 +29,57 @@ Fixture& fixture() {
   return f;
 }
 
-void BM_SnrModulatorPoint(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.ev.snr_modulator_db(f.chip.cal.key));
-  }
-  state.counters["paper_minutes"] = 20.0;
+/// Case options carrying the paper's projected transistor-level cost for
+/// the same measurement (surfaces in the BENCH_*.json notes).
+analock::bench::CaseOptions paper_minutes(double minutes) {
+  analock::bench::CaseOptions opts;
+  opts.notes.emplace_back("paper_minutes", minutes);
+  return opts;
 }
-BENCHMARK(BM_SnrModulatorPoint)->Unit(benchmark::kMillisecond);
 
-void BM_SnrReceiverPoint(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.ev.snr_receiver_db(f.chip.cal.key));
-  }
-  state.counters["paper_minutes"] = 20.0;
+analock::bench::CaseOptions paper_hours(double hours) {
+  analock::bench::CaseOptions opts;
+  opts.notes.emplace_back("paper_hours", hours);
+  return opts;
 }
-BENCHMARK(BM_SnrReceiverPoint)->Unit(benchmark::kMillisecond);
-
-void BM_SfdrPoint(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.ev.sfdr_db(f.chip.cal.key));
-  }
-  state.counters["paper_minutes"] = 30.0;
-}
-BENCHMARK(BM_SfdrPoint)->Unit(benchmark::kMillisecond);
-
-void BM_InputRangeSweep(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    for (double dbm = -85.0; dbm <= 0.01; dbm += 5.0) {
-      benchmark::DoNotOptimize(f.ev.snr_receiver_db(f.chip.cal.key, dbm));
-    }
-  }
-  state.counters["paper_hours"] = 3.0;
-}
-BENCHMARK(BM_InputRangeSweep)->Unit(benchmark::kSecond);
-
-void BM_FullSpecCheck(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.ev.evaluate(f.chip.cal.key));
-  }
-}
-BENCHMARK(BM_FullSpecCheck)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  using analock::bench::do_not_optimize;
+  analock::bench::Harness h("bench_trial_cost");
+
+  h.add_case("snr_modulator_point", [] {
+    auto& f = fixture();
+    double snr = f.ev.snr_modulator_db(f.chip.cal.key);
+    do_not_optimize(snr);
+  }, paper_minutes(20.0));
+
+  h.add_case("snr_receiver_point", [] {
+    auto& f = fixture();
+    double snr = f.ev.snr_receiver_db(f.chip.cal.key);
+    do_not_optimize(snr);
+  }, paper_minutes(20.0));
+
+  h.add_case("sfdr_point", [] {
+    auto& f = fixture();
+    double sfdr = f.ev.sfdr_db(f.chip.cal.key);
+    do_not_optimize(sfdr);
+  }, paper_minutes(30.0));
+
+  h.add_case("input_range_sweep", [] {
+    auto& f = fixture();
+    for (double dbm = -85.0; dbm <= 0.01; dbm += 5.0) {
+      double snr = f.ev.snr_receiver_db(f.chip.cal.key, dbm);
+      do_not_optimize(snr);
+    }
+  }, paper_hours(3.0));
+
+  h.add_case("full_spec_check", [] {
+    auto& f = fixture();
+    auto report = f.ev.evaluate(f.chip.cal.key);
+    do_not_optimize(report);
+  });
+
+  return h.run();
+}

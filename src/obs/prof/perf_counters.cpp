@@ -1,0 +1,236 @@
+#include "obs/prof/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace analock::prof {
+
+const char* to_string(CounterMode mode) {
+  switch (mode) {
+    case CounterMode::kHardware:
+      return "hardware";
+    case CounterMode::kSoftware:
+      return "software";
+    case CounterMode::kChrono:
+      return "chrono";
+  }
+  return "chrono";
+}
+
+CounterValues& CounterValues::operator+=(const CounterValues& other) {
+  wall_ns += other.wall_ns;
+  cycles += other.cycles;
+  instructions += other.instructions;
+  branch_misses += other.branch_misses;
+  cache_references += other.cache_references;
+  cache_misses += other.cache_misses;
+  task_clock_ns += other.task_clock_ns;
+  return *this;
+}
+
+namespace {
+
+// Counter reads race with the hardware; a delta between two samples of a
+// multiplex-scaled counter can transiently go backwards by a few counts.
+// Clamp to zero rather than wrapping to ~2^64.
+std::uint64_t sub_sat(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+CounterValues& CounterValues::operator-=(const CounterValues& other) {
+  wall_ns = wall_ns > other.wall_ns ? wall_ns - other.wall_ns : 0.0;
+  cycles = sub_sat(cycles, other.cycles);
+  instructions = sub_sat(instructions, other.instructions);
+  branch_misses = sub_sat(branch_misses, other.branch_misses);
+  cache_references = sub_sat(cache_references, other.cache_references);
+  cache_misses = sub_sat(cache_misses, other.cache_misses);
+  task_clock_ns = sub_sat(task_clock_ns, other.task_clock_ns);
+  return *this;
+}
+
+CounterValues operator-(CounterValues lhs, const CounterValues& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+CounterValues operator+(CounterValues lhs, const CounterValues& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // leaders start disabled
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 0;  // group reads are incompatible with inherit
+  if (group_fd != -1) {
+    attr.read_format =
+        PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+        PERF_FORMAT_TOTAL_TIME_RUNNING;
+  } else {
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  }
+  const long fd = syscall(SYS_perf_event_open, &attr, 0 /* this process */,
+                          -1 /* any cpu */, group_fd, 0UL);
+  return static_cast<int>(fd);
+}
+
+// Group leaders carry PERF_FORMAT_GROUP, so both the leader and every
+// member share read_format; re-opening members mirrors the leader's.
+int perf_open_member(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+      PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0UL);
+  return static_cast<int>(fd);
+}
+
+/// Scales a raw counter by time_enabled/time_running (multiplexing).
+std::uint64_t scaled(std::uint64_t raw, std::uint64_t enabled,
+                     std::uint64_t running) {
+  if (running == 0 || running >= enabled) return raw;
+  const double factor =
+      static_cast<double>(enabled) / static_cast<double>(running);
+  return static_cast<std::uint64_t>(static_cast<double>(raw) * factor);
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters(bool force_chrono) {
+  if (force_chrono) {
+    mode_ = CounterMode::kChrono;
+    degrade_reason_ = "forced chrono fallback";
+    return;
+  }
+
+  // Hardware PMU group: cycles leads; instructions, branch-misses,
+  // cache-references, cache-misses follow in one read.
+  group_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (group_fd_ >= 0) {
+    static constexpr std::uint64_t kMembers[] = {
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_BRANCH_MISSES,
+        PERF_COUNT_HW_CACHE_REFERENCES,
+        PERF_COUNT_HW_CACHE_MISSES,
+    };
+    bool members_ok = true;
+    for (std::size_t i = 0; i < member_fds_.size(); ++i) {
+      member_fds_[i] =
+          perf_open_member(PERF_TYPE_HARDWARE, kMembers[i], group_fd_);
+      if (member_fds_[i] < 0) members_ok = false;
+    }
+    if (!members_ok) {
+      degrade_reason_ = "partial PMU group (some events unavailable)";
+    }
+    ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    mode_ = CounterMode::kHardware;
+  } else {
+    degrade_reason_ = std::string("perf_event_open(cycles): ") +
+                      std::strerror(errno);
+  }
+
+  // Task clock is a software event: available even where the PMU is not
+  // (most containers/VMs), unless perf_event_open is blocked outright.
+  task_clock_fd_ =
+      perf_open(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, -1);
+  if (task_clock_fd_ >= 0) {
+    ioctl(task_clock_fd_, PERF_EVENT_IOC_RESET, 0);
+    ioctl(task_clock_fd_, PERF_EVENT_IOC_ENABLE, 0);
+    if (mode_ != CounterMode::kHardware) mode_ = CounterMode::kSoftware;
+  } else if (mode_ != CounterMode::kHardware) {
+    mode_ = CounterMode::kChrono;
+    degrade_reason_ += std::string("; perf_event_open(task-clock): ") +
+                       std::strerror(errno);
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (int fd : member_fds_) {
+    if (fd >= 0) close(fd);
+  }
+  if (group_fd_ >= 0) close(group_fd_);
+  if (task_clock_fd_ >= 0) close(task_clock_fd_);
+}
+
+CounterValues PerfCounters::read() const {
+  CounterValues out;
+  out.wall_ns = static_cast<double>(obs::registry().now_ns());
+
+  if (group_fd_ >= 0) {
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+    std::uint64_t buf[3 + 5] = {};
+    const ssize_t n = ::read(group_fd_, buf, sizeof(buf));
+    if (n >= static_cast<ssize_t>(4 * sizeof(std::uint64_t))) {
+      const std::uint64_t nr = buf[0];
+      const std::uint64_t enabled = buf[1];
+      const std::uint64_t running = buf[2];
+      auto value = [&](std::uint64_t idx) {
+        return idx < nr ? scaled(buf[3 + idx], enabled, running) : 0;
+      };
+      out.cycles = value(0);
+      out.instructions = value(1);
+      out.branch_misses = value(2);
+      out.cache_references = value(3);
+      out.cache_misses = value(4);
+    }
+  }
+  if (task_clock_fd_ >= 0) {
+    // Non-group layout: value, time_enabled, time_running.
+    std::uint64_t buf[3] = {};
+    const ssize_t n = ::read(task_clock_fd_, buf, sizeof(buf));
+    if (n >= static_cast<ssize_t>(sizeof(std::uint64_t))) {
+      out.task_clock_ns = n >= static_cast<ssize_t>(3 * sizeof(std::uint64_t))
+                              ? scaled(buf[0], buf[1], buf[2])
+                              : buf[0];
+    }
+  }
+  return out;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters(bool force_chrono) {
+  mode_ = CounterMode::kChrono;
+  degrade_reason_ = force_chrono ? "forced chrono fallback"
+                                 : "perf_event_open requires Linux";
+}
+
+PerfCounters::~PerfCounters() = default;
+
+CounterValues PerfCounters::read() const {
+  CounterValues out;
+  out.wall_ns = static_cast<double>(obs::registry().now_ns());
+  return out;
+}
+
+#endif  // __linux__
+
+}  // namespace analock::prof

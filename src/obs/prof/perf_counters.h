@@ -1,0 +1,115 @@
+// Hardware performance-counter groups over Linux perf_event_open.
+//
+//   prof::PerfCounters pc;                 // opens the process-wide group
+//   prof::CounterSection section(pc);      // RAII: reads at open + close
+//   hot_path();
+//   const prof::CounterValues d = section.delta();
+//   // d.cycles, d.instructions, d.cache_misses, ..., d.wall_ns
+//
+// The group covers cycles, instructions, branch-misses,
+// cache-references, cache-misses (one PERF_FORMAT_GROUP read) plus a
+// standalone task-clock software counter. Opening degrades gracefully:
+//
+//   kHardware  full PMU group + task-clock
+//   kSoftware  PMU unavailable (VM, perf_event_paranoid) — task-clock only
+//   kChrono    perf_event_open unusable entirely (or ANALOCK_PERF=0) —
+//              wall time from the injected obs::Clock, counters zero
+//
+// Wall timestamps always come from obs::registry().now_ns() so tests can
+// inject a FakeClock and benchmark artifacts stay clock-consistent with
+// the trace spans. Multiplexed counters are scaled by
+// time_enabled/time_running on read, like `perf stat` does.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace analock::prof {
+
+/// Degradation level actually achieved by a PerfCounters group.
+enum class CounterMode { kHardware, kSoftware, kChrono };
+
+/// Human name for the BENCH_*.json env section ("hardware", "software",
+/// "chrono").
+[[nodiscard]] const char* to_string(CounterMode mode);
+
+/// One sample (or delta of two samples) of the counter group. Counter
+/// fields are zero when the mode does not provide them.
+struct CounterValues {
+  double wall_ns = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t task_clock_ns = 0;
+
+  CounterValues& operator+=(const CounterValues& other);
+  CounterValues& operator-=(const CounterValues& other);
+
+  /// Instructions per cycle; 0 when cycles were not measured.
+  [[nodiscard]] double ipc() const {
+    return cycles == 0
+               ? 0.0
+               : static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+};
+
+[[nodiscard]] CounterValues operator-(CounterValues lhs,
+                                      const CounterValues& rhs);
+[[nodiscard]] CounterValues operator+(CounterValues lhs,
+                                      const CounterValues& rhs);
+
+/// RAII owner of one perf-event group counting the opening thread
+/// (PERF_FORMAT_GROUP reads are incompatible with inherit, so counts
+/// cover the bench's main thread only). Thread-safe to read()
+/// concurrently: each read is a single syscall into an immutable fd set.
+class PerfCounters {
+ public:
+  /// Opens the best available counter group. `force_chrono` skips the
+  /// syscalls entirely (used by tests and ANALOCK_PERF=0 runs).
+  explicit PerfCounters(bool force_chrono = false);
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  [[nodiscard]] CounterMode mode() const { return mode_; }
+  [[nodiscard]] bool hardware() const {
+    return mode_ == CounterMode::kHardware;
+  }
+  /// Why the mode degraded below kHardware ("" when kHardware).
+  [[nodiscard]] const std::string& degrade_reason() const {
+    return degrade_reason_;
+  }
+
+  /// Current totals since the group was opened. Always fills wall_ns.
+  [[nodiscard]] CounterValues read() const;
+
+ private:
+  CounterMode mode_ = CounterMode::kChrono;
+  std::string degrade_reason_;
+  int group_fd_ = -1;       // PMU group leader (cycles); -1 when absent
+  int task_clock_fd_ = -1;  // standalone software counter; -1 when absent
+  std::array<int, 4> member_fds_{{-1, -1, -1, -1}};
+};
+
+/// RAII section measurement: samples the group at construction, and
+/// delta() returns counters consumed since then.
+class CounterSection {
+ public:
+  explicit CounterSection(const PerfCounters& counters)
+      : counters_(counters), begin_(counters.read()) {}
+
+  [[nodiscard]] CounterValues delta() const {
+    return counters_.read() - begin_;
+  }
+  [[nodiscard]] const CounterValues& begin() const { return begin_; }
+
+ private:
+  const PerfCounters& counters_;
+  CounterValues begin_;
+};
+
+}  // namespace analock::prof

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/prof/span_profile.h"
+
 namespace analock::obs {
 
 namespace {
@@ -16,6 +18,7 @@ TraceSpan::TraceSpan(const char* name, bool emit_event)
   if (!reg.enabled()) return;
   active_ = true;
   depth_ = tls_depth++;
+  profiled_ = prof::SpanProfiler::on_enter(name_);
   begin_ns_ = reg.now_ns();
 }
 
@@ -25,6 +28,7 @@ TraceSpan::~TraceSpan() {
   Registry& reg = registry();
   const std::uint64_t end_ns = reg.now_ns();
   const std::uint64_t dur_ns = end_ns > begin_ns_ ? end_ns - begin_ns_ : 0;
+  if (profiled_) prof::SpanProfiler::on_exit(name_, dur_ns);
   reg.span_histogram(name_).observe(static_cast<double>(dur_ns) / 1e6);
   if (emit_event_ && reg.has_sink()) {
     Event e;

@@ -43,6 +43,7 @@ class TraceSpan {
   int depth_ = 0;
   bool active_ = false;
   bool emit_event_ = true;
+  bool profiled_ = false;  // span was reported to an attached SpanProfiler
 };
 
 /// Emits one point event (type "event") with attributes, if enabled and a

@@ -23,8 +23,20 @@ A missing artifact, a zero-byte artifact, or an artifact with no records
 all fail with a non-zero exit code; parse errors report the offending
 line number.
 
-Usage: check_jsonl.py [--no-convergence] <bench-binary> <artifact-name> [trials]
-Exit code 0 = artifact valid.
+The same tool also validates the BENCH_<name>.json trajectory artifact
+written by the profiling harness (src/obs/prof/): schema name + version,
+environment capture, per-case robust stats, monotone per-rep timestamps,
+non-negative counters, and span-profile coherence (self <= total).
+
+Usage:
+  check_jsonl.py [--no-convergence] [--expect-bench-json NAME]
+                 <bench-binary> <artifact-name> [trials]
+  check_jsonl.py --bench-json FILE [FILE...]
+
+The first form runs the bench in a scratch directory and validates its
+JSONL event record (and, with --expect-bench-json, the BENCH json it
+wrote there too). The second form validates existing BENCH json files
+in place (used for the checked-in baselines). Exit code 0 = valid.
 """
 
 import json
@@ -128,14 +140,178 @@ def validate_artifact(path: str, require_convergence: bool = True) -> None:
           f"points across {sorted(curves)}")
 
 
+# --------------------------------------------------- BENCH_*.json schema
+
+BENCH_SCHEMA = "analock-bench"
+BENCH_SCHEMA_VERSION = 1
+BENCH_ENV_KEYS = (
+    "git_sha", "compiler", "flags", "cpu", "counter_mode",
+    "counter_degrade_reason", "trials_budget", "reps_override", "warmup",
+    "min_time_ms", "max_reps",
+)
+STATS_KEYS = ("n", "min", "max", "mean", "median", "mad", "p95")
+COUNTER_KEYS = ("cycles", "instructions", "branch_misses",
+                "cache_references", "cache_misses", "task_clock_ns")
+
+
+def check_stats(where: str, stats) -> None:
+    if not isinstance(stats, dict):
+        fail(f"{where}: stats must be an object, got {type(stats).__name__}")
+    for key in STATS_KEYS:
+        value = stats.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(f"{where}: stats key {key!r} missing or non-numeric: "
+                 f"{value!r}")
+    if stats["n"] < 1:
+        fail(f"{where}: stats n must be >= 1, got {stats['n']!r}")
+    if not stats["min"] <= stats["median"] <= stats["max"]:
+        fail(f"{where}: expected min <= median <= max, got "
+             f"{stats['min']} / {stats['median']} / {stats['max']}")
+    for key in ("min", "max", "median", "mad", "p95"):
+        if stats[key] < 0:
+            fail(f"{where}: stats key {key!r} is negative: {stats[key]!r}")
+
+
+def check_case(bench: str, case) -> None:
+    name = case.get("name") if isinstance(case, dict) else None
+    if not isinstance(name, str) or not name:
+        fail(f"{bench}: case without a non-empty name: {case!r}")
+    where = f"{bench}:{name}"
+    warmups = case.get("warmups")
+    if not isinstance(warmups, int) or warmups < 0:
+        fail(f"{where}: warmups must be a non-negative int: {warmups!r}")
+    ops = case.get("ops_per_rep")
+    if not isinstance(ops, (int, float)) or ops <= 0:
+        fail(f"{where}: ops_per_rep must be positive: {ops!r}")
+    check_stats(f"{where}.wall_ms", case.get("wall_ms"))
+
+    counters = case.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{where}: counters must be an object (may be empty)")
+    for cname, cstats in counters.items():
+        if cname not in COUNTER_KEYS:
+            fail(f"{where}: unknown counter {cname!r}")
+        check_stats(f"{where}.counters.{cname}", cstats)
+
+    reps = case.get("reps")
+    if not isinstance(reps, list) or not reps:
+        fail(f"{where}: reps must be a non-empty list")
+    if len(reps) != case["wall_ms"]["n"]:
+        fail(f"{where}: wall_ms.n={case['wall_ms']['n']} but "
+             f"{len(reps)} reps recorded")
+    prev_t = -1
+    for i, rep in enumerate(reps):
+        if not isinstance(rep, dict):
+            fail(f"{where}: rep {i} is not an object")
+        t_ns = rep.get("t_ns")
+        if not isinstance(t_ns, int) or t_ns < 0:
+            fail(f"{where}: rep {i} t_ns missing or negative: {t_ns!r}")
+        if t_ns < prev_t:
+            fail(f"{where}: rep timestamps not monotone "
+                 f"({prev_t} -> {t_ns} at rep {i})")
+        prev_t = t_ns
+        wall = rep.get("wall_ms")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            fail(f"{where}: rep {i} wall_ms missing or negative: {wall!r}")
+        for cname in COUNTER_KEYS:
+            if cname in rep and (not isinstance(rep[cname], int)
+                                 or rep[cname] < 0):
+                fail(f"{where}: rep {i} counter {cname!r} must be a "
+                     f"non-negative int: {rep[cname]!r}")
+
+
+def check_profile(bench: str, profile) -> int:
+    if not isinstance(profile, dict):
+        fail(f"{bench}: profile must be an object")
+    spans = profile.get("spans")
+    if not isinstance(spans, list):
+        fail(f"{bench}: profile.spans must be a list")
+    for span in spans:
+        path = span.get("path") if isinstance(span, dict) else None
+        if not isinstance(path, str) or not path:
+            fail(f"{bench}: profile span without a path: {span!r}")
+        where = f"{bench}:profile:{path}"
+        name = span.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: span name missing")
+        if not path.endswith(name):
+            fail(f"{where}: path does not end with name {name!r}")
+        depth = span.get("depth")
+        if not isinstance(depth, int) or depth < 0:
+            fail(f"{where}: depth must be a non-negative int: {depth!r}")
+        calls = span.get("calls")
+        if not isinstance(calls, int) or calls < 1:
+            fail(f"{where}: calls must be >= 1: {calls!r}")
+        total = span.get("total_ms")
+        self_ms = span.get("self_ms")
+        for key, value in (("total_ms", total), ("self_ms", self_ms)):
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"{where}: {key} missing or negative: {value!r}")
+        # Allow a hair of float slack from the ns -> ms conversion.
+        if self_ms > total + 1e-6:
+            fail(f"{where}: self_ms {self_ms} exceeds total_ms {total}")
+    return len(spans)
+
+
+def validate_bench_json(path: str) -> None:
+    if not os.path.exists(path):
+        fail(f"bench json missing: {path}")
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            fail(f"{path} is not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        fail(f"{path}: schema must be {BENCH_SCHEMA!r}, "
+             f"got {doc.get('schema')!r}")
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        fail(f"{path}: schema_version must be {BENCH_SCHEMA_VERSION}, "
+             f"got {doc.get('schema_version')!r}")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        fail(f"{path}: bench name missing")
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        fail(f"{path}: env capture missing")
+    for key in BENCH_ENV_KEYS:
+        if key not in env:
+            fail(f"{path}: env key {key!r} missing")
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        fail(f"{path}: cases must be a non-empty list")
+    for case in cases:
+        check_case(bench, case)
+    n_spans = check_profile(bench, doc.get("profile"))
+    print(f"check_jsonl: OK: {path}: bench {bench!r}, {len(cases)} cases, "
+          f"{n_spans} profile spans, counter mode "
+          f"{env.get('counter_mode')!r}")
+
+
 def main() -> None:
     argv = sys.argv[1:]
+    if argv and argv[0] == "--bench-json":
+        if len(argv) < 2:
+            fail(f"usage: {sys.argv[0]} --bench-json FILE [FILE...]")
+        for path in argv[1:]:
+            validate_bench_json(path)
+        return
+
     require_convergence = True
-    if argv and argv[0] == "--no-convergence":
-        require_convergence = False
-        argv = argv[1:]
+    expect_bench_json = None
+    while argv:
+        if argv[0] == "--no-convergence":
+            require_convergence = False
+            argv = argv[1:]
+        elif argv[0] == "--expect-bench-json" and len(argv) >= 2:
+            expect_bench_json = argv[1]
+            argv = argv[2:]
+        else:
+            break
     if len(argv) not in (2, 3):
-        fail(f"usage: {sys.argv[0]} [--no-convergence] <bench-binary> "
+        fail(f"usage: {sys.argv[0]} [--no-convergence] "
+             f"[--expect-bench-json NAME] <bench-binary> "
              f"<artifact-name> [trials]")
     bench = os.path.abspath(argv[0])
     artifact_name = argv[1]
@@ -145,6 +321,7 @@ def main() -> None:
         env = dict(os.environ)
         env["ANALOCK_BENCH_TRIALS"] = trials
         env.pop("ANALOCK_OBS_JSONL", None)  # let the bench pick its own path
+        env.pop("ANALOCK_BENCH_JSON", None)
         proc = subprocess.run(
             [bench], cwd=scratch, env=env,
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
@@ -157,6 +334,8 @@ def main() -> None:
             fail(f"bench did not write {artifact_name} "
                  f"(dir contains: {os.listdir(scratch)})")
         validate_artifact(artifact, require_convergence)
+        if expect_bench_json is not None:
+            validate_bench_json(os.path.join(scratch, expect_bench_json))
 
 
 if __name__ == "__main__":
