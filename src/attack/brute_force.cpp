@@ -1,5 +1,8 @@
 #include "attack/brute_force.h"
 
+#include <algorithm>
+
+#include "lock/batch_evaluator.h"
 #include "lock/key_layout.h"
 #include "obs/trace.h"
 
@@ -8,39 +11,63 @@ namespace analock::attack {
 BruteForceResult BruteForceAttack::run(const BruteForceOptions& options) {
   ANALOCK_SPAN("attack.brute_force");
   obs::Convergence convergence("brute_force");
+  lock::BatchEvaluator batch(*evaluator_);
   BruteForceResult result;
   result.screen_snr_db.reserve(options.max_trials);
   const double spec_snr = evaluator_->standard().spec.min_snr_db;
+  const double spec_sfdr = evaluator_->standard().spec.min_sfdr_db;
   const auto queries = [&result] {
     return result.cost.snr_trials + result.cost.sfdr_trials;
   };
+  const std::uint64_t batch_size = std::max<std::uint64_t>(
+      1, std::min(options.batch_size, options.max_trials));
 
-  for (std::uint64_t t = 0; t < options.max_trials; ++t) {
-    lock::Key64 key = lock::Key64::random(rng_);
-    if (options.force_mission_mode) key = lock::force_mission_mode(key);
-    ++result.trials;
-    obs::count("attack.brute_force.trials");
-
-    const double screen = evaluator_->snr_modulator_db(key);
-    ++result.cost.snr_trials;
-    result.screen_snr_db.push_back(screen);
-    if (screen > result.best_screen_snr_db) {
-      result.best_screen_snr_db = screen;
-      result.best_key = key;
-      convergence.observe(queries(), screen);
+  std::vector<lock::Key64> keys;
+  std::vector<lock::Key64> survivors;
+  for (std::uint64_t done = 0; done < options.max_trials;
+       done += keys.size()) {
+    // Keys are drawn in the same order a scalar trial loop would draw
+    // them, so the candidate sequence is independent of batch size.
+    keys.clear();
+    const std::uint64_t n =
+        std::min<std::uint64_t>(batch_size, options.max_trials - done);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      lock::Key64 key = lock::Key64::random(rng_);
+      if (options.force_mission_mode) key = lock::force_mission_mode(key);
+      keys.push_back(key);
     }
-    if (screen < options.screen_snr_db) continue;
 
-    // Candidate: full receiver-output verification.
-    const double rx = evaluator_->snr_receiver_db(key);
-    ++result.cost.snr_trials;
-    if (rx > result.best_receiver_snr_db) result.best_receiver_snr_db = rx;
-    if (rx >= spec_snr) {
-      const double sfdr = evaluator_->sfdr_db(key);
+    // Stage 1 — one batched transient screens the whole candidate set at
+    // the modulator output; bookkeeping then replays in candidate order.
+    const auto screens = batch.snr_modulator_db(keys);
+    survivors.clear();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ++result.trials;
+      obs::count("attack.brute_force.trials");
+      const double screen = screens[i];
+      ++result.cost.snr_trials;
+      result.screen_snr_db.push_back(screen);
+      if (screen > result.best_screen_snr_db) {
+        result.best_screen_snr_db = screen;
+        result.best_key = keys[i];
+        convergence.observe(queries(), screen);
+      }
+      if (screen >= options.screen_snr_db) survivors.push_back(keys[i]);
+    }
+    if (survivors.empty()) continue;
+
+    // Stage 2 — survivors get the batched full receiver-output check.
+    const auto rx_snrs = batch.snr_receiver_db(survivors);
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      const double rx = rx_snrs[i];
+      ++result.cost.snr_trials;
+      if (rx > result.best_receiver_snr_db) result.best_receiver_snr_db = rx;
+      if (rx < spec_snr) continue;
+      const double sfdr = evaluator_->sfdr_db(survivors[i]);
       ++result.cost.sfdr_trials;
-      if (sfdr >= evaluator_->standard().spec.min_sfdr_db) {
+      if (sfdr >= spec_sfdr) {
         result.success = true;
-        result.best_key = key;
+        result.best_key = survivors[i];
         result.best_receiver_snr_db = rx;
         obs::event("attack.success", {{"attack", "brute_force"},
                                       {"query", queries()},

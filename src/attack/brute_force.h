@@ -24,6 +24,11 @@ struct BruteForceOptions {
   /// The attacker may have reverse-engineered the mode-bit semantics and
   /// forces mission mode, shrinking the search to the 58 tuning bits.
   bool force_mission_mode = false;
+  /// Candidates screened per batched transient (lock::BatchEvaluator).
+  /// Results are bit-identical for any batch size; on success the attack
+  /// may charge up to batch_size-1 extra screen trials because it exits
+  /// at batch granularity.
+  std::uint64_t batch_size = 32;
 };
 
 struct BruteForceResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lock/batch_evaluator.h"
 #include "lock/key_layout.h"
 #include "obs/trace.h"
 
@@ -35,29 +36,34 @@ SubBlockResult SubBlockAttack::run(const lock::Key64& reference_key,
                                    const SubBlockOptions& options) {
   ANALOCK_SPAN("attack.subblock");
   obs::Convergence convergence("subblock");
+  lock::BatchEvaluator batch(*evaluator_);
   SubBlockResult result;
 
-  auto measure = [&](const lock::Key64& k) {
-    ++result.trials;
-    ++result.cost.snr_trials;
-    obs::count("attack.subblock.trials");
-    const double snr = evaluator_->snr_modulator_db(k);
-    convergence.observe(result.trials, snr);
-    return snr;
-  };
-
+  // One batched transient measures a whole field sweep; bookkeeping then
+  // replays in code order, so counters and convergence points match the
+  // code-by-code loop this replaced.
   auto sweep_field = [&](lock::Key64 base, sim::BitRange range,
                          double& best_snr_out) {
     const std::uint64_t max_value = range.max_value();
     const std::uint64_t stride = std::max<std::uint64_t>(
         1, (max_value + 1) / options.max_trials_per_field);
+    std::vector<std::uint64_t> codes;
+    std::vector<lock::Key64> candidates;
+    for (std::uint64_t code = 0; code <= max_value; code += stride) {
+      codes.push_back(code);
+      candidates.push_back(base.with_field(range, code));
+    }
+    const auto snrs = batch.snr_modulator_db(candidates);
     std::uint64_t best_code = 0;
     double best_snr = -300.0;
-    for (std::uint64_t code = 0; code <= max_value; code += stride) {
-      const double snr = measure(base.with_field(range, code));
-      if (snr > best_snr) {
-        best_snr = snr;
-        best_code = code;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      ++result.trials;
+      ++result.cost.snr_trials;
+      obs::count("attack.subblock.trials");
+      convergence.observe(result.trials, snrs[i]);
+      if (snrs[i] > best_snr) {
+        best_snr = snrs[i];
+        best_code = codes[i];
       }
     }
     best_snr_out = best_snr;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <numbers>
 
 #include "obs/trace.h"
@@ -12,8 +13,16 @@ namespace analock::dsp {
 namespace {
 
 /// Twiddle factors e^{-j pi k / half} for k in [0, half), cached per size.
+///
+/// The cache is shared across threads, so lookups and inserts hold a
+/// mutex. Entries are immutable once inserted and std::map nodes are
+/// stable, so the returned reference stays valid after the lock drops.
+/// Thread-hot code should prefer an FftPlan (fft_plan.h), which owns its
+/// tables and needs no synchronization at all.
 const std::vector<cplx>& twiddles_for(std::size_t half) {
-  static std::map<std::size_t, std::vector<cplx>> cache;
+  static std::mutex cache_mu;
+  static std::map<std::size_t, std::vector<cplx>> cache;  // guarded by cache_mu
+  std::lock_guard<std::mutex> lk(cache_mu);
   auto it = cache.find(half);
   if (it != cache.end()) return it->second;
   std::vector<cplx> tw(half);

@@ -1,0 +1,110 @@
+#include "dsp/fft_plan.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "obs/trace.h"
+
+namespace analock::dsp {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  assert(is_power_of_two(n) && "FFT plan size must be a power of two");
+  // Same permutation walk as fft.cpp's bit_reverse_permute, recorded as
+  // swap pairs so run() replays it without re-deriving indices.
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      swaps_.emplace_back(static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j));
+    }
+  }
+  // Twiddles per stage, same expression as fft.cpp's twiddles_for so the
+  // values (and therefore the butterflies) match bit-for-bit.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    std::vector<cplx> tw(half);
+    for (std::size_t k = 0; k < half; ++k) {
+      const double angle = -std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(half);
+      tw[k] = {std::cos(angle), std::sin(angle)};
+    }
+    stage_tw_.push_back(std::move(tw));
+  }
+}
+
+void FftPlan::run(std::span<cplx> data) const {
+  ANALOCK_SPAN_QUIET("dsp.fft");
+  assert(data.size() == n_ && "FFT plan size mismatch");
+  if (n_ <= 1) return;
+  for (const auto& [i, j] : swaps_) std::swap(data[i], data[j]);
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n_; len <<= 1, ++stage) {
+    const std::size_t half = len >> 1;
+    const std::vector<cplx>& tw = stage_tw_[stage];
+    for (std::size_t block = 0; block < n_; block += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx odd = data[block + k + half] * tw[k];
+        const cplx even = data[block + k];
+        data[block + k] = even + odd;
+        data[block + k + half] = even - odd;
+      }
+    }
+  }
+}
+
+RealFftPlan::RealFftPlan(std::size_t n) : n_(n), half_(n / 2) {
+  assert(is_power_of_two(n) && n >= 2 &&
+         "real FFT plan size must be a power of two >= 2");
+  const std::size_t m = n / 2;
+  unpack_tw_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(n);
+    unpack_tw_[k] = {std::cos(angle), std::sin(angle)};
+  }
+}
+
+void RealFftPlan::run(std::span<const double> input,
+                      std::span<cplx> out) const {
+  assert(input.size() == n_ && "real FFT input size mismatch");
+  assert(out.size() == bins() && "real FFT output size mismatch");
+  const std::size_t m = n_ / 2;
+  // Pack even samples into the real part, odd samples into the
+  // imaginary part, then run one half-size complex FFT.
+  std::vector<cplx> z(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    z[k] = {input[2 * k], input[2 * k + 1]};
+  }
+  half_.run(z);
+
+  // Unpack: with E/O the transforms of the even/odd subsequences,
+  //   X[k] = E[k] + w^k O[k],  w = e^{-j 2 pi / n}
+  // where E[k] = (Z[k] + conj(Z[m-k]))/2 and
+  //       O[k] = -j (Z[k] - conj(Z[m-k]))/2, Z[m] := Z[0].
+  out[0] = {z[0].real() + z[0].imag(), 0.0};
+  out[m] = {z[0].real() - z[0].imag(), 0.0};
+  for (std::size_t k = 1; k < m; ++k) {
+    const cplx zk = z[k];
+    const cplx zc = std::conj(z[m - k]);
+    const cplx even = (zk + zc) * 0.5;
+    const cplx diff = (zk - zc) * 0.5;
+    const cplx odd = {diff.imag(), -diff.real()};  // -j * diff
+    out[k] = even + unpack_tw_[k] * odd;
+  }
+}
+
+void RealFftPlan::run_many(std::span<const double> signals,
+                           std::span<cplx> out, std::size_t lanes) const {
+  assert(signals.size() == lanes * n_ && "lane-major input size mismatch");
+  assert(out.size() == lanes * bins() && "lane-major output size mismatch");
+  for (std::size_t l = 0; l < lanes; ++l) {
+    run(signals.subspan(l * n_, n_), out.subspan(l * bins(), bins()));
+  }
+}
+
+}  // namespace analock::dsp

@@ -1,0 +1,76 @@
+// Plan-based FFTs for the batched evaluation engine.
+//
+// `fft_inplace` (fft.h) recomputes its table lookups through a shared,
+// mutex-guarded twiddle cache on every call. A plan precomputes the
+// bit-reverse permutation and per-stage twiddle tables once, owns them,
+// and is immutable afterwards: `run()` is const and safe to call from
+// any number of threads concurrently.
+//
+// `FftPlan::run` performs bit-identical arithmetic to `fft_inplace`
+// (same butterfly expressions, same twiddle values), so plan-based and
+// legacy callers agree to the last ulp.
+//
+// `RealFftPlan` packs an N-point real transform into one N/2-point
+// complex FFT (real-even packing) and unpacks the half spectrum
+// X[0..N/2]; by conjugate symmetry that is the whole transform. The
+// `run_many` entry point processes lane-major batches of signals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace analock::dsp {
+
+class FftPlan {
+ public:
+  /// `n` must be a power of two (n >= 1).
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place forward DIT radix-2 FFT, bit-identical to fft_inplace.
+  /// `data.size()` must equal size(). Const and thread-safe.
+  void run(std::span<cplx> data) const;
+
+ private:
+  std::size_t n_ = 1;
+  /// Swap pairs (i, j) with i < j from the bit-reversal permutation.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> swaps_;
+  /// stage_tw_[s] holds e^{-j pi k / 2^s} for k in [0, 2^s); stage s
+  /// processes butterflies of length 2^(s+1).
+  std::vector<std::vector<cplx>> stage_tw_;
+};
+
+class RealFftPlan {
+ public:
+  /// `n` is the real input length; must be a power of two >= 2.
+  explicit RealFftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  /// Number of output bins per signal: n/2 + 1 (X[0] through X[n/2]).
+  [[nodiscard]] std::size_t bins() const { return n_ / 2 + 1; }
+
+  /// Forward FFT of one real signal. `input.size()` must equal size()
+  /// and `out.size()` must equal bins(). Negative-frequency bins follow
+  /// from conjugate symmetry: X[n-k] == conj(out[k]) exactly.
+  void run(std::span<const double> input, std::span<cplx> out) const;
+
+  /// Forward FFT of `lanes` signals stored lane-major and contiguous:
+  /// signal l occupies signals[l*size() .. (l+1)*size()), its spectrum
+  /// lands in out[l*bins() .. (l+1)*bins()).
+  void run_many(std::span<const double> signals, std::span<cplx> out,
+                std::size_t lanes) const;
+
+ private:
+  std::size_t n_ = 2;
+  FftPlan half_;
+  /// Unpack twiddles e^{-j 2 pi k / n} for k in [0, n/2).
+  std::vector<cplx> unpack_tw_;
+};
+
+}  // namespace analock::dsp

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 
+#include "dsp/fft_plan.h"
 #include "obs/trace.h"
 #include "sim/units.h"
 
@@ -19,48 +21,128 @@ double energy_norm(std::span<const double> window) {
   return sum_sq * static_cast<double>(window.size());
 }
 
+/// Per-thread plan caches: no shared mutable state, so the metrology can
+/// run from pool workers without synchronizing on the legacy fft.cpp
+/// twiddle cache. Plans are immutable after construction.
+const FftPlan& plan_for(std::size_t n) {
+  thread_local std::map<std::size_t, FftPlan> plans;
+  auto it = plans.find(n);
+  if (it == plans.end()) it = plans.try_emplace(n, n).first;
+  return it->second;
+}
+
+const RealFftPlan& real_plan_for(std::size_t n) {
+  thread_local std::map<std::size_t, RealFftPlan> plans;
+  auto it = plans.find(n);
+  if (it == plans.end()) it = plans.try_emplace(n, n).first;
+  return it->second;
+}
+
 }  // namespace
+
+Periodogram::Periodogram(double fs_hz, std::size_t fft_size, bool one_sided,
+                         WindowKind window)
+    : fs_(fs_hz),
+      fft_size_(fft_size),
+      one_sided_(one_sided),
+      window_(window),
+      lobe_half_width_(main_lobe_half_width(window)) {}
+
+void Periodogram::fill_one_sided(std::span<const cplx> spec, double norm) {
+  // `spec` is the half spectrum X[0..N/2] of a real capture. Conjugate
+  // symmetry makes the folded negative-frequency term exactly equal to
+  // the positive one, so the legacy fold |X[k]|^2 + |X[N-k]|^2 becomes
+  // the same addend twice.
+  const std::size_t half = fft_size_ / 2;
+  power_.assign(half + 1, 0.0);
+  power_[0] = std::norm(spec[0]) / norm;
+  power_[half] = std::norm(spec[half]) / norm;
+  for (std::size_t k = 1; k < half; ++k) {
+    power_[k] = (std::norm(spec[k]) + std::norm(spec[k])) / norm;
+  }
+}
+
+void Periodogram::fill_two_sided(std::span<const cplx> spec, double norm) {
+  power_.resize(fft_size_);
+  for (std::size_t k = 0; k < fft_size_; ++k) {
+    power_[k] = std::norm(spec[k]) / norm;
+  }
+}
 
 Periodogram::Periodogram(std::span<const double> x, double fs_hz,
                          WindowKind window)
-    : fs_(fs_hz),
-      fft_size_(x.size()),
-      one_sided_(true),
-      window_(window),
-      lobe_half_width_(main_lobe_half_width(window)) {
+    : Periodogram(fs_hz, x.size(), true, window) {
   ANALOCK_SPAN_QUIET("dsp.periodogram");
   assert(is_power_of_two(x.size()) && "capture length must be a power of two");
   const auto w = make_window(window, x.size());
-  std::vector<cplx> buf(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i] * w[i];
-  fft_inplace(buf);
-  const double norm = energy_norm(w);
-  const std::size_t half = x.size() / 2;
-  power_.assign(half + 1, 0.0);
-  power_[0] = std::norm(buf[0]) / norm;
-  power_[half] = std::norm(buf[half]) / norm;
-  for (std::size_t k = 1; k < half; ++k) {
-    // Fold negative frequencies onto the positive half.
-    power_[k] = (std::norm(buf[k]) + std::norm(buf[x.size() - k])) / norm;
-  }
+  std::vector<double> xw(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xw[i] = x[i] * w[i];
+  const RealFftPlan& plan = real_plan_for(x.size());
+  std::vector<cplx> spec(plan.bins());
+  plan.run(xw, spec);
+  fill_one_sided(spec, energy_norm(w));
 }
 
 Periodogram::Periodogram(std::span<const cplx> x, double fs_hz,
                          WindowKind window)
-    : fs_(fs_hz),
-      fft_size_(x.size()),
-      one_sided_(false),
-      window_(window),
-      lobe_half_width_(main_lobe_half_width(window)) {
+    : Periodogram(fs_hz, x.size(), false, window) {
   ANALOCK_SPAN_QUIET("dsp.periodogram");
   assert(is_power_of_two(x.size()) && "capture length must be a power of two");
   const auto w = make_window(window, x.size());
   std::vector<cplx> buf(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i] * w[i];
-  fft_inplace(buf);
+  plan_for(x.size()).run(buf);
+  fill_two_sided(buf, energy_norm(w));
+}
+
+std::vector<Periodogram> Periodogram::many_real(std::span<const double> signals,
+                                                std::size_t lanes,
+                                                double fs_hz,
+                                                WindowKind window) {
+  ANALOCK_SPAN_QUIET("dsp.periodogram.batch");
+  assert(lanes > 0 && signals.size() % lanes == 0);
+  const std::size_t n = signals.size() / lanes;
+  assert(is_power_of_two(n) && "capture length must be a power of two");
+  const auto w = make_window(window, n);
   const double norm = energy_norm(w);
-  power_.resize(x.size());
-  for (std::size_t k = 0; k < x.size(); ++k) power_[k] = std::norm(buf[k]) / norm;
+  const RealFftPlan& plan = real_plan_for(n);
+  std::vector<double> xw(n);
+  std::vector<cplx> spec(plan.bins());
+  std::vector<Periodogram> out;
+  out.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto x = signals.subspan(l * n, n);
+    for (std::size_t i = 0; i < n; ++i) xw[i] = x[i] * w[i];
+    plan.run(xw, spec);
+    Periodogram p(fs_hz, n, true, window);
+    p.fill_one_sided(spec, norm);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<Periodogram> Periodogram::many_complex(
+    std::span<const cplx> signals, std::size_t lanes, double fs_hz,
+    WindowKind window) {
+  ANALOCK_SPAN_QUIET("dsp.periodogram.batch");
+  assert(lanes > 0 && signals.size() % lanes == 0);
+  const std::size_t n = signals.size() / lanes;
+  assert(is_power_of_two(n) && "capture length must be a power of two");
+  const auto w = make_window(window, n);
+  const double norm = energy_norm(w);
+  const FftPlan& plan = plan_for(n);
+  std::vector<cplx> buf(n);
+  std::vector<Periodogram> out;
+  out.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto x = signals.subspan(l * n, n);
+    for (std::size_t i = 0; i < n; ++i) buf[i] = x[i] * w[i];
+    plan.run(buf);
+    Periodogram p(fs_hz, n, false, window);
+    p.fill_two_sided(buf, norm);
+    out.push_back(std::move(p));
+  }
+  return out;
 }
 
 double Periodogram::bin_hz() const {

@@ -31,6 +31,19 @@ class Periodogram {
   Periodogram(std::span<const cplx> x, double fs_hz,
               WindowKind window = WindowKind::kHann);
 
+  /// Periodograms of `lanes` real captures stored lane-major and
+  /// contiguous (lane l occupies signals[l*n, (l+1)*n)). Bit-identical
+  /// to constructing each lane's Periodogram separately, but the window
+  /// and FFT plan are built once and shared across the batch.
+  [[nodiscard]] static std::vector<Periodogram> many_real(
+      std::span<const double> signals, std::size_t lanes, double fs_hz,
+      WindowKind window = WindowKind::kHann);
+
+  /// Two-sided batched counterpart of many_real for complex captures.
+  [[nodiscard]] static std::vector<Periodogram> many_complex(
+      std::span<const cplx> signals, std::size_t lanes, double fs_hz,
+      WindowKind window = WindowKind::kHann);
+
   [[nodiscard]] const std::vector<double>& power() const { return power_; }
   [[nodiscard]] double fs() const { return fs_; }
   [[nodiscard]] bool one_sided() const { return one_sided_; }
@@ -72,6 +85,11 @@ class Periodogram {
   [[nodiscard]] std::size_t lobe_half_width() const { return lobe_half_width_; }
 
  private:
+  Periodogram(double fs_hz, std::size_t fft_size, bool one_sided,
+              WindowKind window);
+  void fill_one_sided(std::span<const cplx> spec, double norm);
+  void fill_two_sided(std::span<const cplx> spec, double norm);
+
   std::vector<double> power_;
   double fs_ = 1.0;
   std::size_t fft_size_ = 0;

@@ -114,6 +114,10 @@ class LockEvaluator {
   }
 
  private:
+  /// The batched engine replays this evaluator's RNG fork chains and
+  /// fault-injector call order to stay bit-identical to the scalar path.
+  friend class BatchEvaluator;
+
   /// Builds a freshly-seeded receiver configured from `key`.
   [[nodiscard]] rf::Receiver make_receiver(const Key64& key) const;
 

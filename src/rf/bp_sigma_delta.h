@@ -74,6 +74,21 @@ class BpSigmaDelta {
   [[nodiscard]] const Standard& standard() const { return *standard_; }
   [[nodiscard]] const LcTank& tank() const { return tank_; }
 
+  /// Configured-block introspection: rf::ReceiverBatch probes a scalar
+  /// chip instance through these to harvest the per-lane constants
+  /// (gains, levels, noise RMS values) instead of re-deriving the
+  /// config->parameter maps.
+  [[nodiscard]] const Resonator& resonator1() const { return res1_; }
+  [[nodiscard]] const Resonator& resonator2() const { return res2_; }
+  [[nodiscard]] const Transconductor& gmin() const { return gmin_; }
+  [[nodiscard]] const PreAmplifier& preamp() const { return preamp_; }
+  [[nodiscard]] const Comparator& comparator() const { return comparator_; }
+  [[nodiscard]] const FeedbackDac& dac() const { return dac_; }
+  [[nodiscard]] const FractionalDelayLine& delay_line() const {
+    return delay_;
+  }
+  [[nodiscard]] const OutputBuffer& out_buffer() const { return buffer_; }
+
   /// Advances one sample at fs with RF input voltage `v_rf`; returns the
   /// modulator output (a +/-1 decision in normal operation, an analog
   /// sample when the comparator clock is off or a test tap is selected).

@@ -20,6 +20,11 @@ std::vector<double> channel_taps(std::uint32_t mode) {
 
 }  // namespace
 
+std::vector<double> DigitalBackend::channel_taps_for_mode(
+    std::uint32_t mode) {
+  return channel_taps(mode);
+}
+
 DigitalBackend::DigitalBackend(double fs_hz, std::uint32_t digital_mode)
     : fs_hz_(fs_hz),
       mode_(digital_mode & 7u),

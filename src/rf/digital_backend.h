@@ -47,6 +47,12 @@ class DigitalBackend {
   }
   [[nodiscard]] std::uint32_t digital_mode() const { return mode_; }
 
+  /// Channel-filter taps the backend instantiates for a 3-bit mode;
+  /// rf::ReceiverBatch builds its lane-parallel chain from the same
+  /// design so batched and scalar backends are bit-identical.
+  [[nodiscard]] static std::vector<double> channel_taps_for_mode(
+      std::uint32_t mode);
+
   /// Feeds one modulator output sample; returns true and fills `out` when
   /// a baseband sample is produced.
   bool push(double modulator_sample, std::complex<double>& out);

@@ -54,34 +54,6 @@ void Resonator::configure(double theta, double r) {
   cos_theta_ = std::cos(theta);
 }
 
-double soft_rail(double x, double rail) {
-  const double knee = 0.5 * rail;
-  const double mag = std::abs(x);
-  if (mag <= knee) return x;
-  const double span = rail - knee;
-  const double compressed = knee + span * std::tanh((mag - knee) / span);
-  return x < 0.0 ? -compressed : compressed;
-}
-
-double Resonator::step(double x) {
-  // -Gm saturation: the effective radius shrinks once the state envelope
-  // exceeds the AGC knee, so growth self-limits quasi-linearly.
-  double r_eff = r_;
-  const double env_sq = s1_ * s1_ + s2_ * s2_;
-  const double knee_sq = kAgcKnee * kAgcKnee;
-  if (env_sq > knee_sq) {
-    const double excess =
-        (env_sq - knee_sq) / (kStateRail * kStateRail);
-    r_eff = r_ * std::max(0.5, 1.0 - kAgcStrength * excess);
-  }
-  const double a1 = 2.0 * r_eff * cos_theta_;
-  const double a2 = r_eff * r_eff;
-  const double s = soft_rail(a1 * s1_ - a2 * s2_ + x, kStateRail);
-  s2_ = s1_;
-  s1_ = s;
-  return s;
-}
-
 void Resonator::reset() {
   s1_ = 0.0;
   s2_ = 0.0;

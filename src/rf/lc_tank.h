@@ -12,6 +12,8 @@
 // r >= 1 means a growing (oscillating) response.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "sim/process.h"
@@ -83,8 +85,16 @@ class LcTank {
 /// resonator state saturation: a hard clamp would lock free-running
 /// oscillations onto integer-period limit cycles and blind the
 /// calibration frequency counter, while this describing-function-friendly
-/// limiter preserves the oscillation frequency.
-[[nodiscard]] double soft_rail(double x, double rail);
+/// limiter preserves the oscillation frequency. Inline so the scalar
+/// Resonator and rf::ReceiverBatch share one definition.
+[[nodiscard]] inline double soft_rail(double x, double rail) {
+  const double knee = 0.5 * rail;
+  const double mag = std::abs(x);
+  if (mag <= knee) return x;
+  const double span = rail - knee;
+  const double compressed = knee + span * std::tanh((mag - knee) / span);
+  return x < 0.0 ? -compressed : compressed;
+}
 
 /// Two-pole discrete-time resonator:
 ///   s[n] = 2 r_eff cos(theta) s[n-1] - r_eff^2 s[n-2] + x[n]
@@ -106,14 +116,38 @@ class Resonator {
 
   void configure(double theta, double r);
 
+  /// The step kernel on explicit state, shared between the member
+  /// `step()` and the structure-of-arrays batch stepper: advances
+  /// (s1, s2) one sample with input x and returns the new state s[n].
+  static double advance(double& s1, double& s2, double cos_theta, double r,
+                        double x) {
+    // -Gm saturation: the effective radius shrinks once the state
+    // envelope exceeds the AGC knee, so growth self-limits
+    // quasi-linearly.
+    double r_eff = r;
+    const double env_sq = s1 * s1 + s2 * s2;
+    const double knee_sq = kAgcKnee * kAgcKnee;
+    if (env_sq > knee_sq) {
+      const double excess = (env_sq - knee_sq) / (kStateRail * kStateRail);
+      r_eff = r * std::max(0.5, 1.0 - kAgcStrength * excess);
+    }
+    const double a1 = 2.0 * r_eff * cos_theta;
+    const double a2 = r_eff * r_eff;
+    const double s = soft_rail(a1 * s1 - a2 * s2 + x, kStateRail);
+    s2 = s1;
+    s1 = s;
+    return s;
+  }
+
   /// Advances one sample with input x; returns the new state s[n].
-  double step(double x);
+  double step(double x) { return advance(s1_, s2_, cos_theta_, r_, x); }
 
   [[nodiscard]] double state() const { return s1_; }
   void reset();
 
   [[nodiscard]] double theta() const { return theta_; }
   [[nodiscard]] double radius() const { return r_; }
+  [[nodiscard]] double cos_theta() const { return cos_theta_; }
 
  private:
   double cos_theta_ = 0.0;

@@ -1,0 +1,121 @@
+// Structure-of-arrays batch stepper: advances N receiver configurations
+// (key candidates) in lockstep through one transient.
+//
+// Bit-exactness contract: for every lane, the produced capture equals —
+// to the last bit — what a freshly constructed scalar `rf::Receiver`
+// seeded from the same `rng` and configured with the same
+// `ReceiverConfig` would produce. Three properties make that possible:
+//
+//   1. `sim::Rng::fork` is const and depends only on the parent's seed
+//      material, so every scalar receiver built from the same evaluator
+//      RNG replays identical noise streams regardless of the key. The
+//      batch therefore precomputes each named stream (VGLNA, Gmin,
+//      tanks, preamp, comparator, DAC, buffer) once as raw unit
+//      deviates and scales per lane by that lane's configured RMS with
+//      the same `0.0 + rms * g` expression `sim::GaussianNoise` uses.
+//   2. Every per-lane constant (gains, DAC levels, pole parameters,
+//      noise RMS values) is harvested from a probe scalar `Receiver`
+//      configured per lane — the config->parameter maps are never
+//      re-derived here.
+//   3. The per-sample arithmetic is the same inline kernels the scalar
+//      blocks call (`Vglna::Stage::process`, `cubic_soft`,
+//      `Resonator::advance`, `soft_rail`), applied in the same order.
+//
+// Work is sharded across a fixed thread pool by LANES (each worker runs
+// its contiguous lane range through the whole transient), so results
+// are independent of the thread count by construction.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "par/thread_pool.h"
+#include "rf/receiver.h"
+#include "sim/rng.h"
+
+namespace analock::rf {
+
+class ReceiverBatch {
+ public:
+  /// Builds lane state for `configs`, probing one scalar Receiver per
+  /// lane. All configs must share `digital_mode`. `rng` must be the
+  /// same stream a scalar `Receiver(standard, process, rng)` would get.
+  ReceiverBatch(const Standard& standard,
+                const sim::ProcessVariation& process, const sim::Rng& rng,
+                std::span<const ReceiverConfig> configs);
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] double fs_hz() const { return fs_hz_; }
+  /// Decimated baseband rate of capture_receiver outputs.
+  [[nodiscard]] double baseband_fs_hz() const {
+    return fs_hz_ / static_cast<double>(DigitalBackend::kTotalDecimation);
+  }
+
+  /// Batched Receiver::capture_modulator: drives every lane with `rf`
+  /// and returns the post-settle modulator outputs, lane-major — lane l
+  /// occupies [l*(rf.size()-settle), (l+1)*(rf.size()-settle)).
+  [[nodiscard]] std::vector<double> capture_modulator(
+      std::span<const double> rf, std::size_t settle, par::ThreadPool& pool);
+
+  /// Batched Receiver::capture_receiver limited to the baseband product:
+  /// exactly `baseband_points` complex samples per lane, lane-major,
+  /// after dropping `settle_baseband` leading baseband outputs.
+  /// `rf.size()` must cover receiver_input_length(baseband_points,
+  /// settle, settle_baseband).
+  [[nodiscard]] std::vector<std::complex<double>> capture_receiver(
+      std::span<const double> rf, std::size_t settle,
+      std::size_t baseband_points, std::size_t settle_baseband,
+      par::ThreadPool& pool);
+
+ private:
+  struct NoiseStreams;
+
+  /// Fills the shared raw-deviate arrays for an `n`-sample transient.
+  void generate_noise(std::size_t n, NoiseStreams& noise,
+                      par::ThreadPool& pool) const;
+
+  /// Advances lanes [begin, end) through the whole transient. When
+  /// `run_backend` is false, writes post-settle modulator outputs into
+  /// `mod_out` (lane-major, n - settle per lane); otherwise runs the
+  /// digital backend and writes `baseband_points` baseband samples per
+  /// lane into `bb_out`.
+  void run_lanes(std::size_t begin, std::size_t end,
+                 std::span<const double> rf, std::size_t settle,
+                 const NoiseStreams& noise, bool run_backend,
+                 std::size_t baseband_points, std::size_t settle_baseband,
+                 std::span<double> mod_out,
+                 std::span<std::complex<double>> bb_out) const;
+
+  const Standard* standard_;
+  sim::Rng rng_;
+  double fs_hz_;
+  std::size_t lanes_ = 0;
+  std::uint32_t digital_mode_ = 0;
+
+  // Per-lane constants harvested from the probe receivers (SoA).
+  std::vector<Vglna::Stage> vg_stage_;  // all 5 scalar stages identical
+  std::vector<double> vg_rms_;
+  std::vector<std::uint8_t> gmin_en_;
+  std::vector<double> gm_eff_, gm_iip3_, gm_rms_;
+  std::vector<std::uint8_t> fb_en_;
+  std::vector<double> cos1_, rad1_, cos2_, rad2_;
+  std::vector<double> pre_gain_, pre_rms_;
+  std::vector<double> cmp_off_, cmp_rms_;
+  std::vector<std::uint8_t> cmp_clk_;
+  std::vector<double> dac_lp_, dac_lm_, dac_rms_;
+  std::vector<std::size_t> dly_whole_;
+  std::vector<double> dly_frac_;
+  std::vector<std::uint8_t> mux_, buf_in_;
+  std::vector<double> buf_gain_, buf_rms_;
+  bool any_gmin_ = false;
+  bool any_buffer_ = false;
+
+  // Shared digital-chain taps (mode is uniform across lanes).
+  std::vector<double> hb_taps_;
+  std::vector<double> channel_taps_;
+};
+
+}  // namespace analock::rf

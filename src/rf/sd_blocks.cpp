@@ -21,17 +21,6 @@ std::uint32_t bias_code_for_multiplier(double m) {
       std::lround(std::pow(clamped / 1.75, 1.0 / 1.8) * 63.0));
 }
 
-double cubic_soft(double x, double iip3_amplitude) {
-  // y = x - 4 x^3 / (3 A^2): unit slope at 0, IIP3 amplitude A. Clamp past
-  // the inflection point x* = A/2 to keep the transfer monotone.
-  const double a = iip3_amplitude;
-  const double x_star = a / 2.0;
-  const double y_star = x_star - 4.0 * x_star * x_star * x_star / (3.0 * a * a);
-  if (x > x_star) return y_star;
-  if (x < -x_star) return -y_star;
-  return x - 4.0 * x * x * x / (3.0 * a * a);
-}
-
 // ---------------------------------------------------------------- Gmin --
 
 Transconductor::Transconductor(const sim::ProcessVariation& process,
@@ -48,9 +37,7 @@ double Transconductor::effective_gm() const { return gm_chip_ * bias_m_; }
 
 double Transconductor::process(double v_in) {
   if (!enabled_) return 0.0;
-  // Linearity improves with bias current (class-A transconductor).
-  const double iip3 = kIip3VoltsNominal * std::sqrt(bias_m_);
-  return effective_gm() * cubic_soft(v_in, iip3) + noise_();
+  return effective_gm() * cubic_soft(v_in, iip3_amplitude()) + noise_();
 }
 
 // ------------------------------------------------------------- preamp --

@@ -9,6 +9,7 @@
 // the key bits of the locking scheme.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "sim/noise.h"
@@ -25,8 +26,18 @@ namespace analock::rf {
 [[nodiscard]] std::uint32_t bias_code_for_multiplier(double m);
 
 /// Odd memoryless soft nonlinearity with unit small-signal gain and the
-/// given IIP3 amplitude; monotone (clamped past its inflection).
-[[nodiscard]] double cubic_soft(double x, double iip3_amplitude);
+/// given IIP3 amplitude; monotone (clamped past its inflection). Inline
+/// so the scalar blocks and rf::ReceiverBatch share one definition.
+[[nodiscard]] inline double cubic_soft(double x, double iip3_amplitude) {
+  // y = x - 4 x^3 / (3 A^2): unit slope at 0, IIP3 amplitude A. Clamp past
+  // the inflection point x* = A/2 to keep the transfer monotone.
+  const double a = iip3_amplitude;
+  const double x_star = a / 2.0;
+  const double y_star = x_star - 4.0 * x_star * x_star * x_star / (3.0 * a * a);
+  if (x > x_star) return y_star;
+  if (x < -x_star) return -y_star;
+  return x - 4.0 * x * x * x / (3.0 * a * a);
+}
 
 /// Input transconductor Gmin: converts the VGLNA output voltage to the
 /// modulator's normalized loop signal. Turning it off (calibration step 3)
@@ -46,6 +57,13 @@ class Transconductor {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }
   [[nodiscard]] double effective_gm() const;
+
+  /// IIP3 amplitude at the current bias (linearity improves with bias
+  /// current); the value `process` applies through cubic_soft.
+  [[nodiscard]] double iip3_amplitude() const {
+    return kIip3VoltsNominal * std::sqrt(bias_m_);
+  }
+  [[nodiscard]] double noise_rms() const { return noise_.rms(); }
 
   /// One sample: voltage in, normalized loop signal out.
   double process(double v_in);
@@ -68,6 +86,7 @@ class PreAmplifier {
 
   void set_bias(std::uint32_t code);
   [[nodiscard]] double effective_gain() const;
+  [[nodiscard]] double noise_rms() const { return noise_.rms(); }
 
   double process(double x);
 
@@ -101,6 +120,7 @@ class Comparator {
 
   [[nodiscard]] double effective_offset() const { return offset_eff_; }
   [[nodiscard]] double effective_noise_rms() const;
+  [[nodiscard]] double noise_rms() const { return noise_.rms(); }
 
  private:
   double offset_chip_;
@@ -126,6 +146,9 @@ class FeedbackDac {
 
   void set_bias(std::uint32_t code);
   [[nodiscard]] double effective_gain() const { return gain_eff_; }
+  [[nodiscard]] double level_plus() const { return level_plus_; }
+  [[nodiscard]] double level_minus() const { return level_minus_; }
+  [[nodiscard]] double noise_rms() const { return noise_.rms(); }
 
   /// Converts one (analog or digital) comparator sample to the feedback
   /// waveform value.
@@ -179,6 +202,8 @@ class OutputBuffer {
   explicit OutputBuffer(sim::Rng noise_rng);
 
   void set_code(std::uint32_t code);
+  [[nodiscard]] double gain() const { return gain_; }
+  [[nodiscard]] double noise_rms() const { return noise_.rms(); }
   double process(double x);
 
  private:

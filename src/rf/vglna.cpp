@@ -20,17 +20,6 @@ constexpr double kStageIip3Volts = 2.4;
 
 }  // namespace
 
-double Vglna::Stage::process(double x) const {
-  double y = gain * x + a3 * x * x * x;
-  // With a pure cubic the transfer folds back beyond the IIP3 amplitude;
-  // clamp to the monotone region before rail clipping.
-  const double x_peak = std::sqrt(gain / (-3.0 * a3));
-  const double y_peak = gain * x_peak + a3 * x_peak * x_peak * x_peak;
-  if (x > x_peak) y = y_peak;
-  if (x < -x_peak) y = -y_peak;
-  return std::clamp(y, -kRailVolts, kRailVolts);
-}
-
 Vglna::Vglna(const sim::ProcessVariation& process, sim::Rng noise_rng,
              double fs_hz)
     : process_(process),
@@ -77,6 +66,9 @@ void Vglna::rebuild_stages() {
     stage.gain = g;
     // y = g x + a3 x^3 with IIP3 amplitude A: a3 = -4 g / (3 A^2).
     stage.a3 = -4.0 * g / (3.0 * kStageIip3Volts * kStageIip3Volts);
+    stage.x_peak = std::sqrt(stage.gain / (-3.0 * stage.a3));
+    stage.y_peak = stage.gain * stage.x_peak +
+                   stage.a3 * stage.x_peak * stage.x_peak * stage.x_peak;
   }
   noise_.set_rms(sim::thermal_noise_rms_volts(fs_hz_ / 2.0, noise_figure_db()));
 }

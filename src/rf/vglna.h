@@ -8,6 +8,7 @@
 // the Fig. 11 behavior.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -23,6 +24,26 @@ class Vglna {
   static constexpr unsigned kNumGainLevels = 16;
   /// Supply rail limiting every stage output (volts).
   static constexpr double kRailVolts = 1.2;
+
+  /// One gain stage: y = clip(g*x + a3*x^3) with a3 set by the stage
+  /// IIP3. The fold-back clamp bounds (x_peak, y_peak) are precomputed
+  /// at configure time; `process` is branch-predictable and inline so
+  /// the scalar path and rf::ReceiverBatch share one definition.
+  struct Stage {
+    double gain = 1.0;
+    double a3 = 0.0;
+    double x_peak = 0.0;
+    double y_peak = 0.0;
+
+    [[nodiscard]] double process(double x) const {
+      double y = gain * x + a3 * x * x * x;
+      // With a pure cubic the transfer folds back beyond the IIP3
+      // amplitude; clamp to the monotone region before rail clipping.
+      if (x > x_peak) y = y_peak;
+      if (x < -x_peak) y = -y_peak;
+      return std::clamp(y, -kRailVolts, kRailVolts);
+    }
+  };
 
   /// `fs_hz` sets the simulation bandwidth for the thermal-noise level.
   Vglna(const sim::ProcessVariation& process, sim::Rng noise_rng,
@@ -51,14 +72,15 @@ class Vglna {
   /// Gain in dB a given code would select on this chip instance.
   [[nodiscard]] double gain_db_for_code(std::uint32_t code) const;
 
- private:
-  /// One gain stage: y = clip(g*x + a3*x^3) with a3 set by the stage IIP3.
-  struct Stage {
-    double gain = 1.0;
-    double a3 = 0.0;
-    [[nodiscard]] double process(double x) const;
-  };
+  /// Configured stage cascade (all stages identical at a given code).
+  [[nodiscard]] const std::array<Stage, kNumStages>& stages() const {
+    return stages_;
+  }
 
+  /// RMS of the input-referred noise stream at the current code.
+  [[nodiscard]] double noise_rms() const { return noise_.rms(); }
+
+ private:
   void rebuild_stages();
 
   sim::ProcessVariation process_;

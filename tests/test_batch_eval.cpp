@@ -1,0 +1,354 @@
+// Bit-exactness and infrastructure tests for the batched evaluation
+// engine: FFT plans, the thread pool, batched periodograms, and
+// BatchEvaluator parity against the scalar LockEvaluator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
+#include "dsp/spectrum.h"
+#include "fault/fault_injector.h"
+#include "lock/batch_evaluator.h"
+#include "lock/evaluator.h"
+#include "lock/key_layout.h"
+#include "par/thread_pool.h"
+#include "rf/standards.h"
+#include "sim/process.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace analock;
+using lock::BatchEvaluator;
+using lock::Key64;
+using lock::LockEvaluator;
+
+// ---------------------------------------------------------------------
+// FFT plans
+// ---------------------------------------------------------------------
+
+std::vector<dsp::cplx> random_complex(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<dsp::cplx> x(n);
+  for (auto& v : x) v = {rng.gaussian(), rng.gaussian()};
+  return x;
+}
+
+TEST(FftPlan, MatchesFftInplaceExactly) {
+  for (const std::size_t n : {2u, 8u, 64u, 1024u}) {
+    auto a = random_complex(n, 7 + n);
+    auto b = a;
+    dsp::fft_inplace(a);
+    dsp::FftPlan plan(n);
+    plan.run(b);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(a[k].real(), b[k].real()) << "n=" << n << " k=" << k;
+      EXPECT_EQ(a[k].imag(), b[k].imag()) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(RealFftPlan, MatchesComplexFft) {
+  const std::size_t n = 512;
+  sim::Rng rng(11);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.gaussian();
+
+  std::vector<dsp::cplx> ref(n);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = {x[i], 0.0};
+  dsp::fft_inplace(ref);
+
+  dsp::RealFftPlan plan(n);
+  std::vector<dsp::cplx> out(plan.bins());
+  plan.run(x, out);
+  for (std::size_t k = 0; k < plan.bins(); ++k) {
+    EXPECT_NEAR(ref[k].real(), out[k].real(), 1e-9) << k;
+    EXPECT_NEAR(ref[k].imag(), out[k].imag(), 1e-9) << k;
+  }
+}
+
+TEST(RealFftPlan, RunManyMatchesPerLaneRuns) {
+  const std::size_t n = 256, lanes = 5;
+  sim::Rng rng(23);
+  std::vector<double> signals(n * lanes);
+  for (auto& v : signals) v = rng.gaussian();
+
+  dsp::RealFftPlan plan(n);
+  std::vector<dsp::cplx> batched(plan.bins() * lanes);
+  plan.run_many(signals, batched, lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    std::vector<dsp::cplx> one(plan.bins());
+    plan.run(std::span<const double>(signals).subspan(l * n, n), one);
+    for (std::size_t k = 0; k < plan.bins(); ++k) {
+      EXPECT_EQ(one[k], batched[l * plan.bins() + k]) << l << ":" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  par::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 17u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  par::ThreadPool pool(1);
+  std::size_t calls = 0;
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  par::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t begin, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool stays usable after an exception.
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+// ---------------------------------------------------------------------
+// Batched periodograms
+// ---------------------------------------------------------------------
+
+TEST(Periodogram, ManyRealMatchesPerLane) {
+  const std::size_t n = 512, lanes = 3;
+  sim::Rng rng(31);
+  std::vector<double> signals(n * lanes);
+  for (auto& v : signals) v = rng.gaussian();
+  const auto batched = dsp::Periodogram::many_real(signals, lanes, 1.0e6);
+  ASSERT_EQ(batched.size(), lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const dsp::Periodogram one(
+        std::span<const double>(signals).subspan(l * n, n), 1.0e6);
+    ASSERT_EQ(one.size(), batched[l].size());
+    for (std::size_t k = 0; k < one.size(); ++k) {
+      EXPECT_EQ(one.power()[k], batched[l].power()[k]) << l << ":" << k;
+    }
+  }
+}
+
+TEST(Periodogram, ManyComplexMatchesPerLane) {
+  const std::size_t n = 256, lanes = 3;
+  auto signals = random_complex(n * lanes, 37);
+  const auto batched = dsp::Periodogram::many_complex(signals, lanes, 1.0e6);
+  ASSERT_EQ(batched.size(), lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const dsp::Periodogram one(
+        std::span<const dsp::cplx>(signals).subspan(l * n, n), 1.0e6);
+    ASSERT_EQ(one.size(), batched[l].size());
+    for (std::size_t k = 0; k < one.size(); ++k) {
+      EXPECT_EQ(one.power()[k], batched[l].power()[k]) << l << ":" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// BatchEvaluator parity
+// ---------------------------------------------------------------------
+
+/// Shortened captures keep the parity sweeps fast; one test below runs
+/// the full default lengths.
+lock::EvaluatorOptions fast_options() {
+  lock::EvaluatorOptions opt;
+  opt.fft_size = 1024;
+  opt.sfdr_fft_size = 2048;
+  opt.baseband_points = 256;
+  opt.settle = 256;
+  return opt;
+}
+
+/// A mixed bag of keys: nominal-ish, structured corruptions (including
+/// the paper's deceptive un-clocked-comparator key), and random words.
+std::vector<Key64> test_keys(std::uint64_t seed, std::size_t n_random) {
+  using L = lock::KeyLayout;
+  sim::Rng rng(seed);
+  const Key64 base = Key64::random(rng);
+  std::vector<Key64> keys = {
+      Key64{},
+      base,
+      base.with_bit(L::kCompClockEnable, false),
+      base.with_bit(L::kFeedbackEnable, false),
+      base.with_field(L::kTestMux, 3),
+  };
+  for (std::size_t i = 0; i < n_random; ++i) {
+    keys.push_back(Key64::random(rng));
+  }
+  return keys;
+}
+
+TEST(BatchEvaluator, EvaluateMatchesScalarBitExactly) {
+  const auto keys = test_keys(101, 3);
+  sim::Rng chip_rng(404);
+  const auto pv = sim::ProcessVariation::monte_carlo(chip_rng, 1);
+
+  LockEvaluator scalar(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"),
+                       fast_options());
+  LockEvaluator wrapped(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"),
+                        fast_options());
+  BatchEvaluator batch(wrapped);
+
+  const auto reports = batch.evaluate_batch(keys);
+  ASSERT_EQ(reports.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto ref = scalar.evaluate(keys[i]);
+    EXPECT_EQ(ref.snr_modulator_db, reports[i].snr_modulator_db) << i;
+    EXPECT_EQ(ref.snr_receiver_db, reports[i].snr_receiver_db) << i;
+    EXPECT_EQ(ref.sfdr_db, reports[i].sfdr_db) << i;
+    EXPECT_EQ(ref.snr_ok, reports[i].snr_ok) << i;
+    EXPECT_EQ(ref.sfdr_ok, reports[i].sfdr_ok) << i;
+  }
+}
+
+TEST(BatchEvaluator, MatchesScalarAcrossCornersAndStandards) {
+  const auto keys = test_keys(202, 2);
+  const rf::Standard* standards[] = {&rf::standard_bluetooth(),
+                                     &rf::standard_wifi_80211b()};
+  for (const int corner : {0, 2}) {
+    sim::Rng chip_rng(1000 + static_cast<std::uint64_t>(corner));
+    const auto pv = sim::ProcessVariation::monte_carlo(chip_rng, corner);
+    for (const rf::Standard* standard : standards) {
+      LockEvaluator scalar(*standard, pv, chip_rng.fork("chip"),
+                           fast_options());
+      LockEvaluator wrapped(*standard, pv, chip_rng.fork("chip"),
+                            fast_options());
+      BatchEvaluator batch(wrapped);
+      const auto rx = batch.snr_receiver_db(keys);
+      const auto mod = batch.snr_modulator_db(keys);
+      ASSERT_EQ(rx.size(), keys.size());
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        EXPECT_EQ(scalar.snr_receiver_db(keys[i]), rx[i])
+            << standard->name << " corner " << corner << " key " << i;
+        EXPECT_EQ(scalar.snr_modulator_db(keys[i]), mod[i])
+            << standard->name << " corner " << corner << " key " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchEvaluator, DefaultOptionsMatchScalar) {
+  // Full paper-length captures (8192-pt FFT, 2048 baseband points).
+  const auto keys = test_keys(303, 0);
+  const std::span<const Key64> two(keys.data(), 2);
+  sim::Rng chip_rng(42);
+  const auto pv = sim::ProcessVariation::monte_carlo(chip_rng, 0);
+  LockEvaluator scalar(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"));
+  LockEvaluator wrapped(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"));
+  BatchEvaluator batch(wrapped);
+  const auto rx = batch.snr_receiver_db(two);
+  for (std::size_t i = 0; i < two.size(); ++i) {
+    EXPECT_EQ(scalar.snr_receiver_db(two[i]), rx[i]) << i;
+  }
+}
+
+TEST(BatchEvaluator, ResultsIndependentOfThreadCount) {
+  const auto keys = test_keys(505, 4);
+  sim::Rng chip_rng(77);
+  const auto pv = sim::ProcessVariation::monte_carlo(chip_rng, 0);
+
+  par::ThreadPool pool1(1);
+  par::ThreadPool pool3(3);
+  LockEvaluator ev1(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"),
+                    fast_options());
+  LockEvaluator ev3(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"),
+                    fast_options());
+  BatchEvaluator batch1(ev1, &pool1);
+  BatchEvaluator batch3(ev3, &pool3);
+
+  const auto a = batch1.evaluate_batch(keys);
+  const auto b = batch3.evaluate_batch(keys);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].snr_modulator_db, b[i].snr_modulator_db) << i;
+    EXPECT_EQ(a[i].snr_receiver_db, b[i].snr_receiver_db) << i;
+    EXPECT_EQ(a[i].sfdr_db, b[i].sfdr_db) << i;
+  }
+}
+
+TEST(BatchEvaluator, FaultInjectorParity) {
+  // An active injector perturbs every oracle reading; the batch must
+  // replay the perturbation stream in scalar call order so values AND
+  // injected-fault tallies match N scalar calls.
+  fault::FaultPlan plan;
+  plan.seed = 99;
+  plan.meas_spike_prob = 0.4;
+  plan.meas_dropout_prob = 0.1;
+  plan.stuck_at0_bits = 2;
+  plan.stuck_at1_bits = 1;
+
+  const auto keys = test_keys(606, 3);
+  sim::Rng chip_rng(314);
+  const auto pv = sim::ProcessVariation::monte_carlo(chip_rng, 0);
+
+  fault::FaultInjector scalar_injector(plan);
+  fault::FaultInjector batch_injector(plan);
+  LockEvaluator scalar(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"),
+                       fast_options());
+  LockEvaluator wrapped(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"),
+                        fast_options());
+  scalar.set_fault_injector(&scalar_injector);
+  wrapped.set_fault_injector(&batch_injector);
+  BatchEvaluator batch(wrapped);
+
+  const auto reports = batch.evaluate_batch(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto ref = scalar.evaluate(keys[i]);
+    EXPECT_EQ(ref.snr_modulator_db, reports[i].snr_modulator_db) << i;
+    EXPECT_EQ(ref.snr_receiver_db, reports[i].snr_receiver_db) << i;
+    EXPECT_EQ(ref.sfdr_db, reports[i].sfdr_db) << i;
+  }
+  EXPECT_EQ(scalar_injector.counts().meas_spikes,
+            batch_injector.counts().meas_spikes);
+  EXPECT_EQ(scalar_injector.counts().meas_dropouts,
+            batch_injector.counts().meas_dropouts);
+}
+
+TEST(BatchEvaluator, TrialCountsMatchScalar) {
+  const auto keys = test_keys(707, 2);
+  sim::Rng chip_rng(55);
+  const auto pv = sim::ProcessVariation::monte_carlo(chip_rng, 0);
+  LockEvaluator scalar(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"),
+                       fast_options());
+  LockEvaluator wrapped(rf::standard_max_3ghz(), pv, chip_rng.fork("chip"),
+                        fast_options());
+  BatchEvaluator batch(wrapped);
+
+  for (const Key64& key : keys) (void)scalar.evaluate(key);
+  (void)batch.evaluate_batch(keys);
+  EXPECT_EQ(scalar.trial_counts().snr_modulator,
+            wrapped.trial_counts().snr_modulator);
+  EXPECT_EQ(scalar.trial_counts().snr_receiver,
+            wrapped.trial_counts().snr_receiver);
+  EXPECT_EQ(scalar.trial_counts().sfdr, wrapped.trial_counts().sfdr);
+  EXPECT_EQ(scalar.trials(), wrapped.trials());
+
+  (void)batch.snr_receiver_db(keys);
+  EXPECT_EQ(wrapped.trial_counts().snr_receiver, 2 * keys.size());
+}
+
+}  // namespace

@@ -95,6 +95,56 @@ def classify(old_med, old_mad, new_med, new_mad, threshold_pct):
     return "ok", delta_pct, noise
 
 
+def speedup_pairs(cases):
+    """Finds (bench, stem, scalar_case, variant_name, variant_case) rows.
+
+    A pair is any `<stem>_scalar` case with a `<stem>_batch_*` sibling in
+    the same bench (the convention bench_batch_eval uses); the ratio of
+    their wall-clock medians is the batched-engine speedup.
+    """
+    pairs = []
+    for (bench, name), case in sorted(cases.items()):
+        if not isinstance(name, str) or not name.endswith("_scalar"):
+            continue
+        stem = name[: -len("_scalar")]
+        for (other_bench, other_name), other in sorted(cases.items()):
+            if other_bench != bench or not isinstance(other_name, str):
+                continue
+            if other_name.startswith(stem + "_batch_"):
+                pairs.append((bench, stem, case, other_name, other))
+    return pairs
+
+
+def print_speedups(base, cand):
+    """Prints scalar-vs-batch speedup ratios for both artifact sets."""
+    rows = []
+    for bench, stem, scalar_case, variant, variant_case in speedup_pairs(cand):
+        new_ratio = (scalar_case["wall_ms"]["median"] /
+                     variant_case["wall_ms"]["median"])
+        old_ratio = None
+        base_scalar = base.get((bench, stem + "_scalar"))
+        base_variant = base.get((bench, variant))
+        if base_scalar is not None and base_variant is not None:
+            old_ratio = (base_scalar["wall_ms"]["median"] /
+                         base_variant["wall_ms"]["median"])
+        rows.append((f"{bench}:{stem}", variant,
+                     "-" if old_ratio is None else f"{old_ratio:.2f}x",
+                     f"{new_ratio:.2f}x"))
+    if not rows:
+        return
+    headers = ("pair", "batch case", "base speedup", "new speedup")
+    widths = [max(len(headers[i]), max(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    def line(cells):
+        return "| " + " | ".join(
+            c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+    print("\nscalar-vs-batch speedup (wall-clock median ratio):")
+    print(line(headers))
+    print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in rows:
+        print(line(row))
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(
         description="diff two BENCH_*.json sets")
@@ -141,6 +191,8 @@ def main() -> None:
     print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
     for row in rows:
         print(line(row))
+
+    print_speedups(base, cand)
 
     print(f"\nbench_compare: {len(rows)} cases, {regressions} regressions "
           f"(threshold {args.threshold:.1f}%, noise 3*{MAD_TO_SIGMA}*MAD)")

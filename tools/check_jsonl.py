@@ -40,6 +40,7 @@ in place (used for the checked-in baselines). Exit code 0 = valid.
 """
 
 import json
+import math
 import os
 import subprocess
 import sys
@@ -184,6 +185,21 @@ def check_case(bench: str, case) -> None:
     if not isinstance(ops, (int, float)) or ops <= 0:
         fail(f"{where}: ops_per_rep must be positive: {ops!r}")
     check_stats(f"{where}.wall_ms", case.get("wall_ms"))
+
+    # Optional case annotations (e.g. bench_batch_eval records lanes and
+    # thread count): a flat object of string keys to finite numbers.
+    notes = case.get("notes")
+    if notes is not None:
+        if not isinstance(notes, dict):
+            fail(f"{where}: notes must be an object: {notes!r}")
+        for nkey, nval in notes.items():
+            if not isinstance(nkey, str) or not nkey:
+                fail(f"{where}: notes key must be a non-empty string: "
+                     f"{nkey!r}")
+            if (not isinstance(nval, (int, float)) or isinstance(nval, bool)
+                    or not math.isfinite(nval)):
+                fail(f"{where}: notes[{nkey!r}] must be a finite number: "
+                     f"{nval!r}")
 
     counters = case.get("counters")
     if not isinstance(counters, dict):
