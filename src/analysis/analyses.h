@@ -34,6 +34,33 @@ void run_lock_analysis(const std::vector<ParsedFile>& files,
 void run_determinism_analysis(const std::vector<ParsedFile>& files,
                               std::vector<Finding>& out);
 
+/// Parallel-region safety: `ThreadPool::parallel_for` lambda bodies and
+/// functions annotated `// analock: parallel_region` are concurrent
+/// scopes. By-reference captures written inside one must be lane-
+/// disjoint (indexed by the region's induction variables), guarded_by a
+/// held lock, or std::atomic (parallel-shared-write); calls out of a
+/// region must reach functions annotated `// analock: thread_safe` and
+/// must not touch mutable static state (parallel-unsafe-call).
+void run_parallel_analysis(const std::vector<ParsedFile>& files,
+                           const CallGraph& graph, int max_depth,
+                           std::vector<Finding>& out);
+
+/// Lock-order cycle detection: builds a lock-acquisition graph from
+/// nested lock scopes plus `requires(m)` summaries and call-through
+/// acquisitions across TUs; every edge on a cycle is reported as a
+/// potential deadlock (lock-order-cycle).
+void run_lock_order_analysis(const std::vector<ParsedFile>& files,
+                             const CallGraph& graph,
+                             std::vector<Finding>& out);
+
+/// FP bit-exactness rules, scoped to batch-lane code (receiver_batch,
+/// batch_evaluator, fft_plan, or any file annotated `// analock:
+/// bit_exact`): reassociable reductions and thread-count-dependent
+/// accumulation (fp-reassoc), and fused-multiply-add expressions
+/// (fp-contract).
+void run_fp_exact_analysis(const std::vector<ParsedFile>& files,
+                           std::vector<Finding>& out);
+
 /// True when `identifier` names key/PUF material by the repo's naming
 /// convention (the taint oracle). Exposed for tests.
 [[nodiscard]] bool is_secret_identifier(std::string_view identifier);

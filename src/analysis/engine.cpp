@@ -80,6 +80,9 @@ std::vector<Finding> Engine::run() const {
   run_taint_analysis(parsed, graph, options_.max_depth, findings);
   run_lock_analysis(parsed, graph, findings);
   run_determinism_analysis(parsed, findings);
+  run_parallel_analysis(parsed, graph, options_.max_depth, findings);
+  run_lock_order_analysis(parsed, graph, findings);
+  run_fp_exact_analysis(parsed, findings);
 
   // Apply inline suppressions and attach fingerprints.
   std::map<const SourceFile*, std::map<int, std::set<std::string>>> allows;

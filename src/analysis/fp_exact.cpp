@@ -1,0 +1,216 @@
+// FP bit-exactness rules for batch-lane code.
+//
+// The SoA batch engine promises bit-identical results for any
+// ANALOCK_THREADS value, so lane code must avoid every construct whose
+// floating-point result depends on association order or contraction:
+//
+// fp-reassoc — `std::reduce` / `std::transform_reduce` (unspecified
+// association), `std::accumulate` driven by an execution policy,
+// pairwise/tree sums (`v[i] = v[2*i] + v[2*i+1]` style, whose shape
+// depends on the split count), and thread-count-dependent accumulation
+// (a shared floating-point `+=` / `-=` inside a parallel region — the
+// partial-sum boundaries move with the worker count).
+//
+// fp-contract — `std::fma`/`fmaf` calls: the fused result differs from
+// the unfused `a*b + c` the scalar reference path computes.
+//
+// Scope: files named receiver_batch.cpp, batch_evaluator.cpp, or
+// fft_plan.cpp (the batch lane set), plus any file annotated
+// `// analock: bit_exact`. Everything else may trade exactness for
+// speed freely.
+#include <cctype>
+#include <string>
+
+#include "analysis/analyses.h"
+
+namespace analock::analysis {
+
+namespace {
+
+bool contains_word(const std::string& text, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (std::isalnum(static_cast<unsigned char>(
+                         text[pos - 1])) == 0 &&
+                     text[pos - 1] != '_');
+    const std::size_t end = pos + word.size();
+    const bool right_ok =
+        end >= text.size() ||
+        (std::isalnum(static_cast<unsigned char>(text[end])) == 0 &&
+         text[end] != '_');
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool in_scope(const ParsedFile& file) {
+  if (file.bit_exact) return true;
+  const std::string base = basename_of(file.source->path);
+  return base == "receiver_batch.cpp" || base == "batch_evaluator.cpp" ||
+         base == "fft_plan.cpp";
+}
+
+bool type_is_float(const std::string& type) {
+  return contains_word(type, "double") || contains_word(type, "float") ||
+         type.find("cplx") != std::string::npos ||
+         type.find("complex") != std::string::npos;
+}
+
+bool looks_like_accumulator(const std::string& name) {
+  return name.find("sum") != std::string::npos ||
+         name.find("total") != std::string::npos ||
+         name.find("acc") != std::string::npos ||
+         name.find("energy") != std::string::npos;
+}
+
+/// Offset ranges of every concurrent scope in `fn`.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::vector<Range> concurrent_ranges(const FunctionDef& fn) {
+  std::vector<Range> ranges;
+  for (const ParallelRegion& region : fn.parallel_regions) {
+    ranges.push_back({region.body_begin, region.body_end});
+  }
+  if (fn.is_parallel_region) {
+    ranges.push_back({fn.body_begin, fn.body_end});
+  }
+  return ranges;
+}
+
+bool inside_any(const std::vector<Range>& ranges, std::size_t offset) {
+  for (const Range& r : ranges) {
+    if (offset >= r.begin && offset < r.end) return true;
+  }
+  return false;
+}
+
+/// Count whole-word occurrences of `word` followed by '[' in `text`.
+int count_indexed_uses(const std::string& text, const std::string& word) {
+  int count = 0;
+  std::size_t pos = 0;
+  const std::string needle = word + "[";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (std::isalnum(static_cast<unsigned char>(
+                         text[pos - 1])) == 0 &&
+                     text[pos - 1] != '_');
+    if (left_ok) ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+void emit(const ParsedFile& file, std::size_t offset, const char* rule,
+          std::string message, std::vector<Finding>& out) {
+  Finding f;
+  f.file = file.source->path;
+  f.line = file.source->line_of(offset);
+  f.col = file.source->col_of(offset);
+  f.rule = rule;
+  f.message = std::move(message);
+  out.push_back(std::move(f));
+}
+
+}  // namespace
+
+void run_fp_exact_analysis(const std::vector<ParsedFile>& files,
+                           std::vector<Finding>& out) {
+  for (const ParsedFile& file : files) {
+    if (!in_scope(file)) continue;
+    for (const FunctionDef& fn : file.functions) {
+      const std::vector<Range> concurrent = concurrent_ranges(fn);
+
+      for (const CallSite& call : fn.calls) {
+        if (call.base_name == "reduce" ||
+            call.base_name == "transform_reduce") {
+          emit(file, call.offset, "fp-reassoc",
+               "std::" + call.base_name +
+                   "() has unspecified association order; bit-exact lane "
+                   "code must use a sequential left fold",
+               out);
+          continue;
+        }
+        if (call.base_name == "accumulate") {
+          bool has_policy = false;
+          for (const std::string& arg : call.args) {
+            if (arg.find("execution::") != std::string::npos ||
+                arg.find("par") == 0) {
+              has_policy = true;
+              break;
+            }
+          }
+          if (has_policy) {
+            emit(file, call.offset, "fp-reassoc",
+                 "std::accumulate() with an execution policy reassociates "
+                 "the reduction; bit-exact lane code must fold "
+                 "sequentially",
+                 out);
+          }
+          continue;
+        }
+        if (call.base_name == "fma" || call.base_name == "fmaf") {
+          emit(file, call.offset, "fp-contract",
+               "std::" + call.base_name +
+                   "() fuses the multiply-add; the result differs from the "
+                   "unfused a*b+c computed by the scalar reference path",
+               out);
+        }
+      }
+
+      for (const WriteSite& write : fn.writes) {
+        if (!write.is_compound) {
+          // Pairwise/tree sum: dst[i] = src[2*i] + src[2*i+1] — the
+          // tree shape (and thus rounding) depends on the split count.
+          if (!write.subscript.empty() &&
+              count_indexed_uses(write.rhs, write.head) >= 2 &&
+              (write.rhs.find('+') != std::string::npos ||
+               write.rhs.find('-') != std::string::npos)) {
+            emit(file, write.offset, "fp-reassoc",
+                 "pairwise/tree combination of '" + write.head +
+                     "' elements; the reduction shape is "
+                     "split-count-dependent, so results vary with the "
+                     "partition",
+                 out);
+          }
+          continue;
+        }
+        // Thread-count-dependent accumulation: a shared accumulator
+        // += inside a concurrent scope moves its partial-sum
+        // boundaries with ANALOCK_THREADS.
+        if (!inside_any(concurrent, write.offset)) continue;
+        bool region_local = false;
+        std::string type;
+        for (const VarDecl& local : fn.locals) {
+          if (local.name != write.head) continue;
+          type = local.type;
+          if (inside_any(concurrent, local.offset)) region_local = true;
+        }
+        if (region_local) continue;
+        for (const Param& p : fn.params) {
+          if (p.name == write.head) type = p.type;
+        }
+        const bool floaty = type_is_float(type) ||
+                            (type.empty() && looks_like_accumulator(write.head));
+        if (!floaty) continue;
+        emit(file, write.offset, "fp-reassoc",
+             "'" + write.head +
+                 "' accumulates across lanes inside a parallel region; "
+                 "partial-sum boundaries move with the thread count, so "
+                 "the rounded result is not bit-exact",
+             out);
+      }
+    }
+  }
+}
+
+}  // namespace analock::analysis

@@ -45,6 +45,22 @@ const std::vector<RuleInfo>& rule_catalog() {
        "iteration"},
       {"rng-source",
        "std <random> engine constructed from a non-sim::Rng source"},
+      {"parallel-shared-write",
+       "by-reference capture written inside a parallel region without "
+       "lane-disjoint indexing, a held lock, or an atomic type"},
+      {"parallel-unsafe-call",
+       "call from a parallel region into a function that touches mutable "
+       "static state or is not annotated '// analock: thread_safe'"},
+      {"lock-order-cycle",
+       "lock acquired while holding another in an order that forms a "
+       "cycle across the codebase (potential deadlock)"},
+      {"fp-reassoc",
+       "floating-point reduction whose result depends on association "
+       "order (std::reduce, pairwise/tree sums, thread-count-dependent "
+       "accumulation) inside bit-exact lane code"},
+      {"fp-contract",
+       "fused-multiply-add or contraction-sensitive expression inside "
+       "bit-exact lane code (result differs from unfused a*b+c)"},
   };
   return rules;
 }

@@ -45,6 +45,25 @@ std::string trim(std::string_view text) {
   return std::string(text.substr(b, e - b));
 }
 
+/// Whole-word containment ('_' counts as a word character).
+bool contains_word(std::string_view text, std::string_view word) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok =
+        pos == 0 || (std::isalnum(static_cast<unsigned char>(
+                         text[pos - 1])) == 0 &&
+                     text[pos - 1] != '_');
+    const std::size_t end = pos + word.size();
+    const bool right_ok =
+        end >= text.size() ||
+        (std::isalnum(static_cast<unsigned char>(text[end])) == 0 &&
+         text[end] != '_');
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
 /// Matching-bracket maps over a token stream (token index -> token
 /// index). Unbalanced brackets match to the end of the stream.
 struct BracketMap {
@@ -118,6 +137,7 @@ class FileParser {
   void run() {
     parse_outer();
     collect_guarded_members();
+    detect_bit_exact();
   }
 
  private:
@@ -394,6 +414,8 @@ class FileParser {
     def.body_end = body_close < toks_.size() ? toks_[body_close].offset
                                              : code_.size();
     def.requires_mutex = find_requires_annotation(def);
+    def.is_parallel_region = has_annotation_flag(def, "parallel_region");
+    def.is_thread_safe = has_annotation_flag(def, "thread_safe");
     extract_body(def, body_open, body_close);
     out_.functions.push_back(std::move(def));
     resume = body_close + 1;
@@ -520,6 +542,35 @@ class FileParser {
     return {};
   }
 
+  /// `// analock: <flag>` on the signature lines (or the line above).
+  bool has_annotation_flag(const FunctionDef& def,
+                           std::string_view flag) const {
+    const int first = source_.line_of(def.name_offset);
+    const int last = source_.line_of(def.body_begin);
+    for (int line = std::max(1, first - 1); line <= last; ++line) {
+      const std::string_view text = source_.line_text(line);
+      const std::size_t tag = text.find("analock:");
+      if (tag == std::string_view::npos) continue;
+      if (contains_word(text.substr(tag), flag)) return true;
+    }
+    return false;
+  }
+
+  /// File-level `// analock: bit_exact` marker anywhere in the file.
+  void detect_bit_exact() {
+    const std::string& text = source_.text;
+    std::size_t pos = 0;
+    while ((pos = text.find("bit_exact", pos)) != std::string::npos) {
+      const std::string_view line =
+          source_.line_text(source_.line_of(pos));
+      if (line.find("analock:") != std::string_view::npos) {
+        out_.bit_exact = true;
+        return;
+      }
+      pos += 9;
+    }
+  }
+
   // -------------------------------------------------------------- body walk
 
   void extract_body(FunctionDef& def, std::size_t body_open,
@@ -552,6 +603,8 @@ class FileParser {
 
       if (t == "for" && i + 1 < body_close && toks_[i + 1].is("(")) {
         handle_range_for(def, i + 1, body_close);
+        handle_for_init(def, i + 1, brace_stack, body_close,
+                        decl_init_parens);
         // Fall through: the loop contents still get generic extraction.
       }
 
@@ -620,8 +673,97 @@ class FileParser {
               {std::string(toks_[j - 1].text), tok.offset});
         }
       }
+
+      if (t == "=" || t == "+=" || t == "-=") {
+        record_write(def, i, body_close);
+      }
       ++i;
     }
+  }
+
+  /// Records a WriteSite for the assignment operator at token `op_tok`,
+  /// walking the assigned lvalue chain back to its base identifier.
+  /// Declaration initializers (`int x = ...`) are excluded via
+  /// decl_assign_toks_.
+  void record_write(FunctionDef& def, std::size_t op_tok,
+                    std::size_t body_close) {
+    if (decl_assign_toks_.count(op_tok) > 0) return;
+    std::size_t j = op_tok;
+    std::string subscript;
+    std::vector<std::string_view> idents;  // nearest-first
+    while (j > 0) {
+      const Token& prev = toks_[j - 1];
+      if (prev.is("]")) {
+        // Walk back over one balanced subscript group.
+        int depth = 0;
+        std::size_t k = j;
+        while (k > 0) {
+          --k;
+          if (toks_[k].is("]")) ++depth;
+          if (toks_[k].is("[")) {
+            if (--depth == 0) break;
+          }
+        }
+        if (depth != 0 || k == 0) return;
+        const std::string inner = slice(code_, toks_, k + 1, j - 1);
+        subscript = subscript.empty() ? inner : inner + " " + subscript;
+        j = k;
+        continue;
+      }
+      if (prev.is_ident()) {
+        idents.push_back(prev.text);
+        if (j >= 2 && (toks_[j - 2].is(".") || toks_[j - 2].is("->") ||
+                       toks_[j - 2].is("::"))) {
+          j -= 2;
+          continue;
+        }
+        break;
+      }
+      return;  // e.g. `)` of a call result, or an operator sequence
+    }
+    if (idents.empty()) return;
+    std::string_view head = idents.back();
+    // `this->member_ = v` assigns the member, not `this`.
+    if (head == "this" && idents.size() >= 2) head = idents[idents.size() - 2];
+    if (is_stmt_keyword(head) || is_type_intro_keyword(head)) return;
+
+    WriteSite write;
+    write.head = std::string(head);
+    write.subscript = std::move(subscript);
+    write.is_compound = !toks_[op_tok].is("=");
+    write.offset = toks_[op_tok].offset;
+    // Right-hand side up to the statement-ending ';' at depth 0.
+    std::size_t k = op_tok + 1;
+    int depth = 0;
+    while (k < body_close) {
+      const std::string_view rt = toks_[k].text;
+      if (rt == "(" || rt == "[" || rt == "{") ++depth;
+      if (rt == ")" || rt == "]" || rt == "}") --depth;
+      if ((rt == ";" || rt == ",") && depth <= 0) break;
+      if (depth < 0) break;
+      ++k;
+    }
+    write.rhs = slice(code_, toks_, op_tok + 1, k);
+    def.writes.push_back(std::move(write));
+  }
+
+  /// Classic-for init declarations (`for (std::size_t i = begin; ...)`)
+  /// become locals so lane-disjointness can trace loop counters back to
+  /// the region's induction variables.
+  void handle_for_init(FunctionDef& def, std::size_t paren,
+                       const std::vector<std::size_t>& brace_stack,
+                       std::size_t body_close_tok,
+                       std::set<std::size_t>& decl_init_parens) {
+    const std::size_t close = brackets_->paren_close[paren];
+    if (close >= toks_.size()) return;
+    const std::size_t first = paren + 1;
+    if (first >= close || !toks_[first].is_ident() ||
+        is_stmt_keyword(toks_[first].text)) {
+      return;
+    }
+    std::size_t consumed = 0;
+    try_parse_decl(def, first, close, brace_stack, body_close_tok,
+                   decl_init_parens, consumed);
   }
 
   void record_call(FunctionDef& def, std::size_t name_tok) {
@@ -645,6 +787,106 @@ class FileParser {
     const std::string args = slice(code_, toks_, paren + 1, close);
     if (!args.empty()) call.args = split_top_level_args(args);
     def.calls.push_back(std::move(call));
+
+    if (toks_[name_tok].is("parallel_for")) {
+      extract_parallel_region(def, name_tok);
+    }
+  }
+
+  /// Recovers the lambda body of a `parallel_for(n, [caps](b, e) {...})`
+  /// call as a ParallelRegion: capture list, induction parameters, and
+  /// body extent. Named function objects (no lambda in the argument
+  /// list) are skipped — annotate the callee `// analock:
+  /// parallel_region` instead.
+  void extract_parallel_region(FunctionDef& def, std::size_t name_tok) {
+    const std::size_t paren = name_tok + 1;
+    const std::size_t close = brackets_->paren_close[paren];
+    if (close >= toks_.size()) return;
+    // The lambda intro is a '[' directly after '(' or a top-level ','
+    // (a '[' after an identifier is a subscript).
+    std::size_t intro = 0;
+    for (std::size_t k = paren + 1; k < close; ++k) {
+      if (toks_[k].is("[") &&
+          (toks_[k - 1].is("(") || toks_[k - 1].is(","))) {
+        intro = k;
+        break;
+      }
+    }
+    if (intro == 0) return;
+    // Matching ']' of the capture list.
+    std::size_t intro_close = intro;
+    int depth = 0;
+    for (std::size_t k = intro; k < close; ++k) {
+      if (toks_[k].is("[")) ++depth;
+      if (toks_[k].is("]")) {
+        if (--depth == 0) {
+          intro_close = k;
+          break;
+        }
+      }
+    }
+    if (intro_close == intro) return;
+
+    ParallelRegion region;
+    region.offset = toks_[name_tok].offset;
+    const std::string captures =
+        slice(code_, toks_, intro + 1, intro_close);
+    for (const std::string& piece : split_top_level_args(captures)) {
+      if (piece == "&") {
+        region.capture_default_ref = true;
+      } else if (piece == "=") {
+        region.capture_default_copy = true;
+      } else if (piece == "this") {
+        region.ref_captures.push_back("this");
+      } else if (!piece.empty() && piece[0] == '&') {
+        // `&name` or `&name = expr` init capture: the captured name.
+        std::string name;
+        for (std::size_t c = 1; c < piece.size(); ++c) {
+          const char ch = piece[c];
+          if (std::isalnum(static_cast<unsigned char>(ch)) != 0 ||
+              ch == '_') {
+            name += ch;
+          } else {
+            break;
+          }
+        }
+        if (!name.empty()) region.ref_captures.push_back(std::move(name));
+      } else {
+        // Copy capture (`name`, `name = expr`, `*this`): lane-local.
+        std::string name;
+        for (const char ch : piece) {
+          if (std::isalnum(static_cast<unsigned char>(ch)) != 0 ||
+              ch == '_') {
+            name += ch;
+          } else if (name.empty() && ch == '*') {
+            continue;  // *this
+          } else {
+            break;
+          }
+        }
+        if (!name.empty()) region.copy_captures.push_back(std::move(name));
+      }
+    }
+
+    // Parameter list, then the body '{' (skipping mutable/noexcept/
+    // trailing-return tokens).
+    std::size_t j = intro_close + 1;
+    if (j < close && toks_[j].is("(")) {
+      const std::size_t params_close = brackets_->paren_close[j];
+      if (params_close >= close) return;
+      for (const Param& p : parse_params(j, params_close)) {
+        if (!p.name.empty()) region.params.push_back(p.name);
+      }
+      j = params_close + 1;
+    }
+    while (j < close && !toks_[j].is("{")) ++j;
+    if (j >= close) return;
+    const std::size_t body_close_tok = brackets_->brace_close[j];
+    region.body_begin = toks_[j].offset + 1;
+    region.body_end = body_close_tok < toks_.size()
+                          ? toks_[body_close_tok].offset
+                          : code_.size();
+    def.parallel_regions.push_back(std::move(region));
   }
 
   bool try_parse_decl(FunctionDef& def, std::size_t i,
@@ -684,8 +926,24 @@ class FileParser {
       last_tok = j;
     }
     if (j >= body_close || ident_toks.size() < 2) return false;
-    const std::string_view term = toks_[j].text;
-    if (term != "=" && term != "(" && term != "{" && term != ";") {
+    // Array declarator (`double buf[N] = {};`): the '[' follows the
+    // name directly; skip the bracket group to find the terminator.
+    std::size_t term_tok = j;
+    if (toks_[term_tok].is("[") && term_tok == ident_toks.back() + 1) {
+      int bracket_depth = 0;
+      while (term_tok < body_close) {
+        if (toks_[term_tok].is("[")) ++bracket_depth;
+        if (toks_[term_tok].is("]") && --bracket_depth == 0) {
+          ++term_tok;
+          break;
+        }
+        ++term_tok;
+      }
+      if (term_tok >= body_close) return false;
+    }
+    const std::string_view term = toks_[term_tok].text;
+    if (term != "=" && term != "(" && term != "{" && term != ";" &&
+        term != ",") {
       return false;
     }
     // The last top-level identifier is the variable name; everything
@@ -712,30 +970,32 @@ class FileParser {
     decl.type = slice(code_, toks_, i, name_tok);
     decl.offset = toks_[i].offset;
     if (decl.type.empty()) return false;
-    if (term != ";") {
-      // Initializer: up to the statement-ending ';' at depth 0.
-      std::size_t k = j;
+    if (term == "=") decl_assign_toks_.insert(term_tok);
+    if (term != ";" && term != ",") {
+      // Initializer: to the ';' or a further-declarator ',' at depth 0.
+      std::size_t k = term_tok;
       int depth = 0;
       while (k < body_close) {
         const std::string_view it = toks_[k].text;
         if (it == "(" || it == "[" || it == "{") ++depth;
         if (it == ")" || it == "]" || it == "}") --depth;
         if (it == ";" && depth <= 0) break;
+        if (it == "," && depth == 0 && k > term_tok) break;
         ++k;
       }
-      decl.init = slice(code_, toks_, j, k);
+      decl.init = slice(code_, toks_, term_tok, k);
     }
 
     // Lock guards get scope extents; their init parens are not calls.
     const bool is_lock = decl.type.find("scoped_lock") != std::string::npos ||
                          decl.type.find("lock_guard") != std::string::npos ||
                          decl.type.find("unique_lock") != std::string::npos;
-    std::size_t end_tok = j;
+    std::size_t end_tok = term_tok;
     if (term == "(" || term == "{") {
-      decl_init_parens.insert(j);
+      decl_init_parens.insert(term_tok);
       end_tok = term == "("
-                    ? brackets_->paren_close[j]
-                    : brackets_->brace_close[j];
+                    ? brackets_->paren_close[term_tok]
+                    : brackets_->brace_close[term_tok];
       if (is_lock) {
         const std::size_t scope_close_tok =
             brace_stack.empty() ? body_close_tok
@@ -743,7 +1003,7 @@ class FileParser {
         const std::size_t scope_end =
             scope_close_tok < toks_.size() ? toks_[scope_close_tok].offset
                                            : code_.size();
-        const std::string args = slice(code_, toks_, j + 1, end_tok);
+        const std::string args = slice(code_, toks_, term_tok + 1, end_tok);
         for (const std::string& arg : split_top_level_args(args)) {
           if (arg.empty() || arg.find("adopt_lock") != std::string::npos ||
               arg.find("defer_lock") != std::string::npos) {
@@ -753,9 +1013,68 @@ class FileParser {
         }
       }
     }
-    def.locals.push_back(std::move(decl));
+    const std::string shared_type = def.locals.emplace_back(std::move(decl)).type;
     (void)last_tok;
-    (void)end_tok;
+
+    // Additional declarators in the same statement: `double a = x, b;`.
+    // Depth-0 commas inside a confirmed declaration separate
+    // declarators; each gets a VarDecl of the shared type and its own
+    // initializer marking.
+    std::size_t scan = (term == "(" || term == "{") ? end_tok + 1 : term_tok;
+    int scan_depth = 0;
+    while (scan < body_close) {
+      const std::string_view st = toks_[scan].text;
+      if (st == "(" || st == "[" || st == "{") ++scan_depth;
+      if (st == ")" || st == "]" || st == "}") --scan_depth;
+      if (st == ";" && scan_depth <= 0) break;
+      if (st == "," && scan_depth == 0) {
+        std::size_t n = scan + 1;
+        while (n < body_close && (toks_[n].is("*") || toks_[n].is("&") ||
+                                  toks_[n].is("&&"))) {
+          ++n;
+        }
+        if (n < body_close && toks_[n].is_ident()) {
+          VarDecl extra;
+          extra.name = std::string(toks_[n].text);
+          extra.type = shared_type;
+          extra.offset = toks_[n].offset;
+          std::size_t after = n + 1;
+          if (after < body_close && toks_[after].is("[")) {
+            int bd = 0;
+            while (after < body_close) {
+              if (toks_[after].is("[")) ++bd;
+              if (toks_[after].is("]") && --bd == 0) {
+                ++after;
+                break;
+              }
+              ++after;
+            }
+          }
+          if (after < body_close && toks_[after].is("=")) {
+            decl_assign_toks_.insert(after);
+            std::size_t k2 = after;
+            int d2 = 0;
+            while (k2 < body_close) {
+              const std::string_view it2 = toks_[k2].text;
+              if (it2 == "(" || it2 == "[" || it2 == "{") ++d2;
+              if (it2 == ")" || it2 == "]" || it2 == "}") --d2;
+              if (it2 == ";" && d2 <= 0) break;
+              if (it2 == "," && d2 == 0 && k2 > after) break;
+              ++k2;
+            }
+            extra.init = slice(code_, toks_, after, k2);
+          } else if (after < body_close &&
+                     (toks_[after].is("(") || toks_[after].is("{"))) {
+            decl_init_parens.insert(after);
+          }
+          def.locals.push_back(std::move(extra));
+          scan = n + 1;
+          continue;
+        }
+      }
+      ++scan;
+    }
+
     // Resume right after the name so initializer expressions still get
     // call/access extraction.
     consumed = name_tok + 1;
@@ -890,6 +1209,7 @@ class FileParser {
   std::unique_ptr<BracketMap> brackets_;
   std::vector<ScopeEntry> scopes_;
   std::vector<ClassRange> class_ranges_;
+  std::set<std::size_t> decl_assign_toks_;  ///< '=' tokens of decl inits
 };
 
 }  // namespace

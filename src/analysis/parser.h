@@ -78,6 +78,33 @@ struct CompoundAssign {
   std::size_t offset = 0;
 };
 
+/// One store: `head[sub] = rhs`, `head.field = rhs`, `head += rhs`, ...
+/// `head` is the base identifier of the assigned chain, so `*jobs[s].dst
+/// = v` records head "jobs" with subscript "s".
+struct WriteSite {
+  std::string head;        ///< base identifier of the assigned lvalue
+  std::string subscript;   ///< concatenated [..] index texts, "" if none
+  std::string rhs;         ///< right-hand-side text up to ';'
+  bool is_compound = false;  ///< += or -= (read-modify-write)
+  std::size_t offset = 0;
+};
+
+/// One `ThreadPool::parallel_for(n, [captures](begin, end) {...})` call:
+/// the lambda body is a concurrent scope. Functions annotated
+/// `// analock: parallel_region` are modeled the same way with their
+/// whole body as the region and params named begin/end as induction
+/// variables.
+struct ParallelRegion {
+  std::size_t offset = 0;        ///< offset of the parallel_for callee
+  std::size_t body_begin = 0;    ///< offset just inside the lambda '{'
+  std::size_t body_end = 0;      ///< offset of the matching '}'
+  bool capture_default_ref = false;   ///< [&]
+  bool capture_default_copy = false;  ///< [=]
+  std::vector<std::string> ref_captures;   ///< explicit &name captures
+  std::vector<std::string> copy_captures;  ///< explicit by-value captures
+  std::vector<std::string> params;  ///< lambda params (induction vars)
+};
+
 struct FunctionDef {
   std::string qualified_name;  ///< "ns::Class::method" or "free_fn"
   std::string class_name;      ///< enclosing/owner class, "" for free fns
@@ -85,6 +112,8 @@ struct FunctionDef {
   std::vector<Param> params;
   bool is_ctor_or_dtor = false;
   std::string requires_mutex;  ///< from `// analock: requires(m)`
+  bool is_parallel_region = false;  ///< `// analock: parallel_region`
+  bool is_thread_safe = false;      ///< `// analock: thread_safe`
   std::size_t name_offset = 0;
   std::size_t body_begin = 0;  ///< offset just inside '{'
   std::size_t body_end = 0;    ///< offset of matching '}'
@@ -97,6 +126,8 @@ struct FunctionDef {
   std::vector<MemberAccess> accesses;   ///< bare identifier occurrences
   std::vector<RangeForLoop> range_fors;
   std::vector<CompoundAssign> compound_assigns;
+  std::vector<WriteSite> writes;
+  std::vector<ParallelRegion> parallel_regions;
 };
 
 struct AnnotatedMember {
@@ -111,6 +142,7 @@ struct ParsedFile {
   const SourceFile* source = nullptr;
   std::vector<FunctionDef> functions;
   std::vector<AnnotatedMember> guarded_members;
+  bool bit_exact = false;  ///< file carries `// analock: bit_exact`
 };
 
 /// Parses one file. `source` must outlive the returned ParsedFile.

@@ -119,6 +119,7 @@ class Resonator {
   /// The step kernel on explicit state, shared between the member
   /// `step()` and the structure-of-arrays batch stepper: advances
   /// (s1, s2) one sample with input x and returns the new state s[n].
+  // analock: thread_safe -- pure on its explicit-state arguments
   static double advance(double& s1, double& s2, double cos_theta, double r,
                         double x) {
     // -Gm saturation: the effective radius shrinks once the state

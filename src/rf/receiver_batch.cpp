@@ -145,6 +145,7 @@ void ReceiverBatch::generate_noise(std::size_t n, NoiseStreams& noise,
   });
 }
 
+// analock: thread_safe parallel_region
 void ReceiverBatch::run_lanes(std::size_t begin, std::size_t end,
                               std::span<const double> rf, std::size_t settle,
                               const NoiseStreams& noise, bool run_backend,

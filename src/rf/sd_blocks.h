@@ -28,6 +28,7 @@ namespace analock::rf {
 /// Odd memoryless soft nonlinearity with unit small-signal gain and the
 /// given IIP3 amplitude; monotone (clamped past its inflection). Inline
 /// so the scalar blocks and rf::ReceiverBatch share one definition.
+// analock: thread_safe -- stateless
 [[nodiscard]] inline double cubic_soft(double x, double iip3_amplitude) {
   // y = x - 4 x^3 / (3 A^2): unit slope at 0, IIP3 amplitude A. Clamp past
   // the inflection point x* = A/2 to keep the transfer monotone.

@@ -343,6 +343,197 @@ TEST(EngineDeterminism, SimRngDerivedEngineIsClean) {
   EXPECT_TRUE(engine.run().empty());
 }
 
+// --------------------------------------------------------- parallel model
+
+TEST(ParserParallel, ExtractsRegionCapturesParamsAndBodyExtent) {
+  const SourceFile source = make_source(
+      "p.cpp",
+      "void f(Pool& pool, std::vector<double>& v) {\n"
+      "  pool.parallel_for(4, [&](std::size_t begin, std::size_t end) {\n"
+      "    v[begin] = 0.0;\n"
+      "  });\n"
+      "}\n");
+  const ParsedFile parsed = parse_file(source);
+  ASSERT_EQ(parsed.functions.size(), 1u);
+  const FunctionDef& fn = parsed.functions[0];
+  ASSERT_EQ(fn.parallel_regions.size(), 1u);
+  const ParallelRegion& region = fn.parallel_regions[0];
+  EXPECT_TRUE(region.capture_default_ref);
+  EXPECT_FALSE(region.capture_default_copy);
+  EXPECT_EQ(region.params, (std::vector<std::string>{"begin", "end"}));
+  ASSERT_LT(region.body_begin, region.body_end);
+  ASSERT_EQ(fn.writes.size(), 1u);
+  EXPECT_EQ(fn.writes[0].head, "v");
+  EXPECT_NE(fn.writes[0].subscript.find("begin"), std::string::npos);
+  EXPECT_GE(fn.writes[0].offset, region.body_begin);
+  EXPECT_LT(fn.writes[0].offset, region.body_end);
+}
+
+TEST(ParserParallel, MultiDeclaratorAndArrayLocalsAreNotWrites) {
+  const SourceFile source = make_source("d.cpp",
+                                        "void g() {\n"
+                                        "  double a = 1.0, b = 2.0;\n"
+                                        "  double buf[4] = {};\n"
+                                        "  double x, y;\n"
+                                        "  x = a;\n"
+                                        "}\n");
+  const ParsedFile parsed = parse_file(source);
+  ASSERT_EQ(parsed.functions.size(), 1u);
+  const FunctionDef& fn = parsed.functions[0];
+  std::set<std::string> names;
+  for (const VarDecl& local : fn.locals) names.insert(local.name);
+  EXPECT_EQ(names, (std::set<std::string>{"a", "b", "buf", "x", "y"}));
+  // Declaration initializers are not write sites; `x = a;` is.
+  ASSERT_EQ(fn.writes.size(), 1u);
+  EXPECT_EQ(fn.writes[0].head, "x");
+}
+
+TEST(ParserParallel, AnnotationFlagsOnFunctionsAndFiles) {
+  const SourceFile source = make_source(
+      "ann.cpp",
+      "// analock: bit_exact\n"
+      "// analock: thread_safe parallel_region\n"
+      "void lanes(std::size_t begin, std::size_t end) {\n"
+      "}\n"
+      "void plain() {\n"
+      "}\n");
+  const ParsedFile parsed = parse_file(source);
+  EXPECT_TRUE(parsed.bit_exact);
+  ASSERT_EQ(parsed.functions.size(), 2u);
+  EXPECT_TRUE(parsed.functions[0].is_thread_safe);
+  EXPECT_TRUE(parsed.functions[0].is_parallel_region);
+  EXPECT_FALSE(parsed.functions[1].is_thread_safe);
+  EXPECT_FALSE(parsed.functions[1].is_parallel_region);
+}
+
+TEST(EngineParallel, SharedWriteFlaggedLaneDisjointClean) {
+  Engine engine;
+  engine.add_source(
+      "par.cpp",
+      "void kernel(Pool& pool, std::vector<double>& out) {\n"
+      "  double total = 0.0;\n"
+      "  pool.parallel_for(8, [&](std::size_t begin, std::size_t end) {\n"
+      "    for (std::size_t i = begin; i < end; ++i) out[i] = 1.0;\n"
+      "    total = total + 1.0;\n"
+      "  });\n"
+      "  out[0] = total;\n"
+      "}\n");
+  const std::vector<Finding> findings = engine.run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "parallel-shared-write");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(EngineParallel, CopyCaptureAndAtomicStoresAreClean) {
+  Engine engine;
+  engine.add_source(
+      "clean.cpp",
+      "void kernel(Pool& pool) {\n"
+      "  std::atomic<int> flag{0};\n"
+      "  double scale = 2.0;\n"
+      "  pool.parallel_for(8, [&, scale](std::size_t begin,\n"
+      "                                  std::size_t end) {\n"
+      "    scale = 3.0;\n"
+      "    flag = 1;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineParallel, CrossTuMutableStaticCalleeFlagged) {
+  Engine engine;
+  engine.add_source(
+      "driver.cpp",
+      "void driver(Pool& pool) {\n"
+      "  pool.parallel_for(4, [&](std::size_t begin, std::size_t end) {\n"
+      "    helper();\n"
+      "  });\n"
+      "}\n");
+  engine.add_source("helper.cpp",
+                    "int helper() {\n"
+                    "  static int count = 0;\n"
+                    "  count = count + 1;\n"
+                    "  return count;\n"
+                    "}\n");
+  const std::vector<Finding> findings = engine.run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "parallel-unsafe-call");
+  EXPECT_NE(findings[0].message.find("mutable static"), std::string::npos);
+}
+
+TEST(EngineParallel, ThreadSafeAnnotationVouchesForCallee) {
+  Engine engine;
+  engine.add_source(
+      "driver.cpp",
+      "void driver(Pool& pool, std::vector<double>& out) {\n"
+      "  pool.parallel_for(4, [&](std::size_t begin, std::size_t end) {\n"
+      "    out[begin] = pure_kernel(1.0);\n"
+      "  });\n"
+      "}\n");
+  engine.add_source("kernel.cpp",
+                    "// analock: thread_safe\n"
+                    "double pure_kernel(double x) {\n"
+                    "  return x * 2.0;\n"
+                    "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineLockOrder, OppositeOrdersFlaggedConsistentOrderClean) {
+  Engine cyclic;
+  cyclic.add_source("cycle.cpp",
+                    "void ab() {\n"
+                    "  std::lock_guard<std::mutex> l1(g_m1);\n"
+                    "  std::lock_guard<std::mutex> l2(g_m2);\n"
+                    "}\n"
+                    "void ba() {\n"
+                    "  std::lock_guard<std::mutex> l3(g_m2);\n"
+                    "  std::lock_guard<std::mutex> l4(g_m1);\n"
+                    "}\n");
+  const std::vector<std::string> rules = rules_of(cyclic.run());
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "lock-order-cycle"), 2);
+
+  Engine ordered;
+  ordered.add_source("ordered.cpp",
+                     "void ab() {\n"
+                     "  std::lock_guard<std::mutex> l1(g_m1);\n"
+                     "  std::lock_guard<std::mutex> l2(g_m2);\n"
+                     "}\n"
+                     "void ab2() {\n"
+                     "  std::lock_guard<std::mutex> l3(g_m1);\n"
+                     "  std::lock_guard<std::mutex> l4(g_m2);\n"
+                     "}\n");
+  EXPECT_TRUE(ordered.run().empty());
+}
+
+TEST(EngineFpExact, ScopedToBatchLaneFilesAndAnnotation) {
+  Engine in_scope;
+  in_scope.add_source(
+      "src/rf/receiver_batch.cpp",
+      "double f(const std::vector<double>& v) {\n"
+      "  return std::reduce(v.begin(), v.end(), 0.0);\n"
+      "}\n");
+  const std::vector<std::string> rules = rules_of(in_scope.run());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "fp-reassoc"), rules.end());
+
+  Engine out_of_scope;
+  out_of_scope.add_source(
+      "src/other/helper.cpp",
+      "double f(const std::vector<double>& v) {\n"
+      "  return std::reduce(v.begin(), v.end(), 0.0);\n"
+      "}\n");
+  EXPECT_TRUE(out_of_scope.run().empty());
+
+  Engine annotated;
+  annotated.add_source("src/other/exact.cpp",
+                       "// analock: bit_exact\n"
+                       "double g(double a, double b, double c) {\n"
+                       "  return std::fma(a, b, c);\n"
+                       "}\n");
+  const std::vector<std::string> ann_rules = rules_of(annotated.run());
+  EXPECT_NE(std::find(ann_rules.begin(), ann_rules.end(), "fp-contract"),
+            ann_rules.end());
+}
+
 // ------------------------------------------------------------------ sarif
 
 TEST(Sarif, EmitsValidShapeWithFingerprints) {

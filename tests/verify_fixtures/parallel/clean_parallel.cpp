@@ -1,0 +1,43 @@
+// Fixture: every parallel-region escape hatch in one place; nothing
+// here may be flagged. Covers lane-disjoint indexing, region-local
+// state, a guarded_by member written under its lock, a std::atomic
+// store, a by-value capture, and a thread_safe-annotated callee.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fix_par {
+
+struct PoolClean {
+  template <typename F>
+  void parallel_for(std::size_t n, F body);
+};
+
+// analock: thread_safe -- stateless
+double clean_lane_kernel(double x) { return x * 2.0; }
+
+struct CleanWorker {
+  std::mutex mu_;
+  double merged_ = 0.0;  // analock: guarded_by(mu_)
+
+  void run(PoolClean& pool, std::vector<double>& out) {
+    std::atomic<int> done{0};
+    const double scale = 2.0;
+    pool.parallel_for(out.size(),
+                      [&, scale](std::size_t begin, std::size_t end) {
+      double local_sum = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = clean_lane_kernel(scale);  // lane-disjoint, safe callee
+        local_sum = local_sum + out[i];     // region-local accumulator
+      }
+      {
+        std::lock_guard<std::mutex> hold(mu_);
+        merged_ = merged_ + local_sum;      // guarded_by(mu_), lock held
+      }
+      done = 1;                             // atomic store
+    });
+  }
+};
+
+}  // namespace fix_par

@@ -1,0 +1,12 @@
+// analock: bit_exact
+// Fixture: std::fma fuses the multiply-add into one rounding, so its
+// result differs from the unfused a*b+c the scalar reference computes.
+#include <cmath>
+
+namespace fix_par {
+
+double fp_contract_case(double a, double b, double c) {
+  return std::fma(a, b, c);  // expect: fp-contract
+}
+
+}  // namespace fix_par

@@ -1,0 +1,37 @@
+// analock: bit_exact
+// Fixture: the three reassociation shapes fp-reassoc must catch inside
+// bit-exact lane code: std::reduce, a pairwise/tree combination, and a
+// thread-count-dependent accumulation (which is also a shared write).
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace fix_par {
+
+struct PoolFp {
+  template <typename F>
+  void parallel_for(std::size_t n, F body);
+};
+
+double fp_reduce_case(const std::vector<double>& v) {
+  return std::reduce(v.begin(), v.end(), 0.0);  // expect: fp-reassoc
+}
+
+void fp_pairwise_case(std::vector<double>& scratch, std::size_t half) {
+  for (std::size_t i = 0; i < half; ++i) {
+    scratch[i] = scratch[2 * i] + scratch[2 * i + 1];  // expect: fp-reassoc
+  }
+}
+
+double fp_threaded_accum_case(PoolFp& pool, const double* data,
+                              std::size_t n) {
+  double energy_sum = 0.0;
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      energy_sum += data[i] * data[i];  // expect: fp-reassoc, parallel-shared-write
+    }
+  });
+  return energy_sum;
+}
+
+}  // namespace fix_par

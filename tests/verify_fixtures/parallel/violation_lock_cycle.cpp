@@ -1,0 +1,23 @@
+// Fixture: two mutexes acquired in opposite orders by two functions.
+// Both inner acquisitions sit on the resulting cycle, so both lines
+// carry a finding — fixing either order breaks the deadlock.
+#include <mutex>
+
+namespace fix_par {
+
+std::mutex fix_m1;
+std::mutex fix_m2;
+
+int lock_cycle_ab() {
+  std::lock_guard<std::mutex> a(fix_m1);
+  std::lock_guard<std::mutex> b(fix_m2);  // expect: lock-order-cycle
+  return 1;
+}
+
+int lock_cycle_ba() {
+  std::lock_guard<std::mutex> c(fix_m2);
+  std::lock_guard<std::mutex> d(fix_m1);  // expect: lock-order-cycle
+  return 2;
+}
+
+}  // namespace fix_par

@@ -1,0 +1,25 @@
+// Fixture: a by-reference capture written inside a parallel region
+// without lane-disjoint indexing. The `out[i]` store on the line above
+// it is indexed by the induction variable and must stay silent.
+#include <cstddef>
+#include <vector>
+
+namespace fix_par {
+
+struct Pool {
+  template <typename F>
+  void parallel_for(std::size_t n, F body);
+};
+
+void par_shared_write_case(Pool& pool, std::vector<double>& out) {
+  double total = 0.0;
+  pool.parallel_for(out.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = 1.0 * i;
+      total = total + out[i];  // expect: parallel-shared-write
+    }
+  });
+  out[0] = total;
+}
+
+}  // namespace fix_par

@@ -1,0 +1,23 @@
+// Fixture (cross-TU, part A): a parallel region calls a helper whose
+// definition lives in violation_par_unsafe_xtu_b.cpp and hides a
+// mutable static accumulator. Resolution must cross the TU boundary.
+#include <cstddef>
+
+namespace fix_par {
+
+struct PoolXtu {
+  template <typename F>
+  void parallel_for(std::size_t n, F body);
+};
+
+double xtu_stateful_helper(double x);
+
+void par_unsafe_xtu_case(PoolXtu& pool, double* out, std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = xtu_stateful_helper(1.0);  // expect: parallel-unsafe-call
+    }
+  });
+}
+
+}  // namespace fix_par

@@ -1,0 +1,13 @@
+// Fixture (cross-TU, part B): the helper called from the parallel
+// region in violation_par_unsafe_xtu_a.cpp. The mutable static makes
+// every concurrent caller race; the finding lands on the call site in
+// part A, so this file expects nothing itself.
+namespace fix_par {
+
+double xtu_stateful_helper(double x) {
+  static double xtu_counter = 0.0;
+  xtu_counter = xtu_counter + x;
+  return xtu_counter;
+}
+
+}  // namespace fix_par

@@ -23,6 +23,16 @@ plus a third family that cross-checks the key-layout tables:
      sum to exactly 64 bits; literal shifts must not overflow their
      operand width.
 
+and a fourth that guards the bit-exactness contract at the build level:
+
+  4. BUILD HYGIENE -- the batch SNR engine promises results that are
+     bit-identical to the scalar path for any thread count, which any
+     value-unsafe FP mode silently voids. Neither sources nor CMake
+     files may enable -ffast-math / -funsafe-math-optimizations /
+     -ffp-contract=fast / /fp:fast, and no translation unit may flip
+     `#pragma STDC FP_CONTRACT ON`. CMake files (CMakeLists.txt,
+     *.cmake) are scanned for this rule only.
+
 Rules
 -----
   secret-flow           key material reaches a logging/metrics sink
@@ -34,6 +44,7 @@ Rules
   layout-overlap        two layout fields overlap
   layout-sum            layout field widths do not sum to 64
   shift-overflow        literal shift exceeds the operand width
+  build-hygiene         value-unsafe FP flag or FP_CONTRACT pragma
 
 Suppression
 -----------
@@ -77,9 +88,15 @@ RULES = (
     "layout-overlap",
     "layout-sum",
     "shift-overflow",
+    "build-hygiene",
 )
 
 SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".h", ".hpp"}
+CMAKE_SUFFIXES = {".cmake"}
+
+
+def is_cmake_file(path: Path) -> bool:
+    return path.name == "CMakeLists.txt" or path.suffix in CMAKE_SUFFIXES
 EXCLUDED_DIR_NAMES = {"build", "lint_fixtures", "verify_fixtures", ".git"}
 
 # ---------------------------------------------------------------------------
@@ -611,12 +628,68 @@ def check_shift_overflow(stripped: str, line_starts: list[int], path: Path) -> l
 
 
 # ---------------------------------------------------------------------------
+# Build hygiene (value-unsafe FP modes)
+
+UNSAFE_FP_FLAG_RE = re.compile(
+    r"-ffast-math|-funsafe-math-optimizations|-ffp-contract=fast"
+    r"|[/-]fp:fast|-Ofast\b"
+)
+FP_CONTRACT_PRAGMA_RE = re.compile(
+    r"#\s*pragma\s+STDC\s+FP_CONTRACT\s+ON"
+)
+
+
+def check_build_hygiene(
+    stripped: str, line_starts: list[int], path: Path
+) -> list[Finding]:
+    """Flags FP modes that void the batch engine's bit-exactness contract.
+
+    In C++ sources only the pragma can take effect (flags in comments or
+    string literals arrive here blanked by strip_code); in CMake files the
+    flag spellings themselves are the hazard.
+    """
+    findings = []
+    patterns = (
+        [UNSAFE_FP_FLAG_RE] if is_cmake_file(path) else [FP_CONTRACT_PRAGMA_RE]
+    )
+    for pattern in patterns:
+        for m in pattern.finditer(stripped):
+            findings.append(
+                Finding(
+                    path,
+                    line_of(m.start(), line_starts),
+                    "build-hygiene",
+                    f"'{m.group(0)}' reassociates/contracts floating point, "
+                    "breaking the batch engine's bit-exactness contract "
+                    "(results would differ from the scalar path and across "
+                    "thread counts)",
+                )
+            )
+    return findings
+
+
+def strip_cmake(text: str) -> str:
+    """Blanks `#` comments in CMake text, preserving offsets and newlines."""
+    out = list(text)
+    in_comment = False
+    for i, c in enumerate(text):
+        if c == "\n":
+            in_comment = False
+            continue
+        if c == "#":
+            in_comment = True
+        if in_comment:
+            out[i] = " "
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 
 def lint_file(path: Path) -> list[Finding]:
     text = path.read_text(encoding="utf-8", errors="replace")
-    stripped = strip_code(text)
+    stripped = strip_cmake(text) if is_cmake_file(path) else strip_code(text)
     original_lines = text.splitlines()
     line_starts = [0]
     for i, c in enumerate(stripped):
@@ -624,11 +697,15 @@ def lint_file(path: Path) -> list[Finding]:
             line_starts.append(i + 1)
 
     findings: list[Finding] = []
-    findings += check_secret_flow(stripped, line_starts, path)
-    findings += check_secret_compare(stripped, line_starts, path)
-    findings += check_determinism(stripped, line_starts, path)
-    findings += check_layout(stripped, line_starts, path)
-    findings += check_shift_overflow(stripped, line_starts, path)
+    if is_cmake_file(path):
+        findings += check_build_hygiene(stripped, line_starts, path)
+    else:
+        findings += check_secret_flow(stripped, line_starts, path)
+        findings += check_secret_compare(stripped, line_starts, path)
+        findings += check_determinism(stripped, line_starts, path)
+        findings += check_layout(stripped, line_starts, path)
+        findings += check_shift_overflow(stripped, line_starts, path)
+        findings += check_build_hygiene(stripped, line_starts, path)
 
     allows = inline_allows(original_lines)
     kept = []
@@ -656,7 +733,9 @@ def iter_sources(roots: list[Path]) -> list[Path]:
                 out.append(root)
             continue
         for path in sorted(root.rglob("*")):
-            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            if not path.is_file():
+                continue
+            if path.suffix not in SOURCE_SUFFIXES and not is_cmake_file(path):
                 continue
             parts = set(path.parts)
             if parts & EXCLUDED_DIR_NAMES:
@@ -734,7 +813,7 @@ def run_tree(
     return 1 if all_findings else 0
 
 
-EXPECT_RE = re.compile(r"//\s*expect:\s*([\w\-, ]+)")
+EXPECT_RE = re.compile(r"(?://|#)\s*expect:\s*([\w\-, ]+)")
 
 
 def run_self_test(fixture_dir: Path) -> int:
@@ -744,7 +823,7 @@ def run_self_test(fixture_dir: Path) -> int:
     files = sorted(
         p
         for p in fixture_dir.iterdir()
-        if p.suffix in SOURCE_SUFFIXES and p.is_file()
+        if p.is_file() and (p.suffix in SOURCE_SUFFIXES or is_cmake_file(p))
     )
     if not files:
         print(f"analock-lint: no fixtures in {fixture_dir}", file=sys.stderr)

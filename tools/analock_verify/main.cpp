@@ -37,6 +37,8 @@ const char* const kUsage =
     "  --sarif FILE          write findings as SARIF v2.1.0\n"
     "  --diff-baseline FILE  suppress findings whose fingerprint is in\n"
     "                        FILE (a SARIF log); report only new ones\n"
+    "  --update-baseline     rewrite the --diff-baseline file with the\n"
+    "                        current findings (sorted by fingerprint)\n"
     "  --max-depth N         taint propagation depth (default 4)\n"
     "  --self-test DIR       run against '// expect:' fixture tree\n"
     "  --exit-zero           always exit 0 when the scan itself worked\n"
@@ -187,6 +189,7 @@ int main(int argc, char** argv) {
   std::string self_test_dir;
   int max_depth = 4;
   bool exit_zero = false;
+  bool update_baseline = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -203,6 +206,8 @@ int main(int argc, char** argv) {
       sarif_path = next("--sarif");
     } else if (arg == "--diff-baseline") {
       baseline_path = next("--diff-baseline");
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg == "--max-depth") {
       max_depth = std::atoi(next("--max-depth"));
       if (max_depth < 1) max_depth = 1;
@@ -274,6 +279,35 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Finding> findings = engine.run();
+
+  if (update_baseline) {
+    if (baseline_path.empty()) {
+      std::cerr << "analock_verify: --update-baseline needs "
+                   "--diff-baseline FILE to know where to write\n";
+      return 2;
+    }
+    // The baseline is a SARIF log ordered by fingerprint, so rewrites
+    // diff cleanly no matter how the scan ordered the findings.
+    std::vector<Finding> sorted = findings;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.fingerprint != b.fingerprint) {
+                  return a.fingerprint < b.fingerprint;
+                }
+                if (a.file != b.file) return a.file < b.file;
+                return a.line < b.line;
+              });
+    std::ofstream out(baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "analock_verify: cannot write baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    out << analock::analysis::to_sarif(sorted);
+    std::cout << "analock_verify: baseline " << baseline_path
+              << " rewritten with " << sorted.size() << " finding(s)\n";
+    return 0;
+  }
 
   if (!sarif_path.empty()) {
     std::ofstream out(sarif_path, std::ios::binary);

@@ -5,9 +5,13 @@
 #   2. analock-lint fixture self-test (the linter's own golden tests)
 #   3. analock-verify              (the C++ deep analyzer: interprocedural
 #                                   secret taint, guarded_by lock checks,
-#                                   determinism dataflow; built on demand)
-#   4. analock-verify self-test    (golden // expect: fixtures)
-#   5. clang-tidy                  (curated .clang-tidy profile; skipped
+#                                   determinism dataflow, parallel-region
+#                                   safety, lock-order cycles, FP
+#                                   bit-exactness; built on demand)
+#   4. analock-verify self-test    (golden // expect: fixtures, including
+#                                   the parallelism fixtures)
+#   5. SARIF structure check       (2.1.0 shape of both emitted logs)
+#   6. clang-tidy                  (curated .clang-tidy profile; skipped
 #                                   with a notice when not installed)
 #
 # Usage: tools/run_static_analysis.sh [build-dir]
@@ -15,56 +19,91 @@
 # The build dir (default: build) hosts the analock_verify binary and the
 # compile_commands.json consumed by clang-tidy; the top-level CMakeLists
 # exports the database unconditionally, so one configure serves both.
-# analock-verify also writes analock_verify.sarif into the build dir and
-# validates it against the SARIF 2.1.0 structure (check_sarif.py).
+# analock-verify writes analock_verify.sarif (the src scan) and
+# analock_fixtures.sarif (the fixture scan) into the build dir; both are
+# validated against the SARIF 2.1.0 structure (check_sarif.py).
 #
-# Exit status is non-zero if any stage that actually ran found problems.
+# Every stage records pass/fail/skip and the script prints a summary at
+# the end; the exit status aggregates ALL stages that ran, so a passing
+# later stage can never mask an earlier failure.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 LINT="$ROOT/tools/analock_lint/analock_lint.py"
 VERIFY_BIN="$BUILD_DIR/tools/analock_verify/analock_verify"
+
+STAGE_NAMES=()
+STAGE_RESULTS=()
 STATUS=0
 
-echo "== analock-lint: tree scan =="
-if ! python3 "$LINT" --root "$ROOT" --jobs 0 src bench examples tests tools; then
-  STATUS=1
-fi
+# record <name> <result: pass|FAIL|skip>
+record() {
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("$2")
+  if [ "$2" = "FAIL" ]; then
+    STATUS=1
+  fi
+}
+
+# run_stage <name> <command...> — runs the command, records pass/FAIL.
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "== $name =="
+  if "$@"; then
+    record "$name" pass
+  else
+    record "$name" FAIL
+  fi
+}
+
+run_stage "analock-lint: tree scan" \
+  python3 "$LINT" --root "$ROOT" --jobs 0 src bench examples tests tools
+
+run_stage "analock-lint: fixture self-test" \
+  python3 "$LINT" --self-test "$ROOT/tests/lint_fixtures"
 
 echo
-echo "== analock-lint: fixture self-test =="
-if ! python3 "$LINT" --self-test "$ROOT/tests/lint_fixtures"; then
-  STATUS=1
-fi
-
-echo
-echo "== analock-verify: deep analysis =="
+echo "== analock-verify: build =="
 if [ ! -x "$VERIFY_BIN" ]; then
   echo "analock_verify not built; configuring and building..."
   cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null \
     && cmake --build "$BUILD_DIR" --target analock_verify -j >/dev/null
 fi
+
 if [ -x "$VERIFY_BIN" ]; then
   SARIF_OUT="$BUILD_DIR/analock_verify.sarif"
-  if ! "$VERIFY_BIN" --root "$ROOT/src" \
-      --diff-baseline "$ROOT/tools/analock_verify/baseline.sarif" \
-      --sarif "$SARIF_OUT"; then
-    STATUS=1
-  fi
-  echo
-  echo "== analock-verify: fixture self-test =="
-  if ! "$VERIFY_BIN" --self-test "$ROOT/tests/verify_fixtures"; then
-    STATUS=1
-  fi
-  echo
-  echo "== analock-verify: SARIF structure check =="
-  if ! python3 "$ROOT/tools/analock_verify/check_sarif.py" "$SARIF_OUT"; then
-    STATUS=1
-  fi
+  FIXTURE_SARIF_OUT="$BUILD_DIR/analock_fixtures.sarif"
+
+  run_stage "analock-verify: deep analysis (src)" \
+    "$VERIFY_BIN" --root "$ROOT/src" \
+    --diff-baseline "$ROOT/tools/analock_verify/baseline.sarif" \
+    --sarif "$SARIF_OUT"
+
+  run_stage "analock-verify: fixture self-test" \
+    "$VERIFY_BIN" --self-test "$ROOT/tests/verify_fixtures"
+
+  run_stage "analock-verify: parallel fixture self-test" \
+    "$VERIFY_BIN" --self-test "$ROOT/tests/verify_fixtures/parallel"
+
+  # Fixture scan as a SARIF log: CI merges this with the src scan into
+  # one artifact, and the schema check guards the emitter on a log that
+  # is guaranteed to carry results.
+  run_stage "analock-verify: fixture SARIF emit" \
+    "$VERIFY_BIN" --root "$ROOT/tests/verify_fixtures" \
+    --sarif "$FIXTURE_SARIF_OUT" --exit-zero
+
+  run_stage "analock-verify: SARIF structure check (src)" \
+    python3 "$ROOT/tools/analock_verify/check_sarif.py" "$SARIF_OUT"
+
+  run_stage "analock-verify: SARIF structure check (fixtures)" \
+    python3 "$ROOT/tools/analock_verify/check_sarif.py" \
+    "$FIXTURE_SARIF_OUT" --require-results
 else
-  echo "could not build analock_verify; failing the run."
-  STATUS=1
+  echo "could not build analock_verify."
+  record "analock-verify: build" FAIL
 fi
 
 echo
@@ -72,27 +111,42 @@ echo "== clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "clang-tidy not installed; skipping (the .clang-tidy profile at"
   echo "the repo root applies when it is available)."
-  exit $STATUS
-fi
-
-if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
-  echo "no compile_commands.json in $BUILD_DIR; configuring..."
-  cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null || exit 1
-fi
-
-# Product sources only: tests/benches link against gtest/benchmark whose
-# headers are outside the profile's remit.
-mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)
-if command -v run-clang-tidy >/dev/null 2>&1; then
-  if ! run-clang-tidy -p "$BUILD_DIR" -quiet "${SOURCES[@]}"; then
-    STATUS=1
-  fi
+  record "clang-tidy" skip
 else
-  for src in "${SOURCES[@]}"; do
-    if ! clang-tidy -p "$BUILD_DIR" --quiet "$src"; then
-      STATUS=1
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "no compile_commands.json in $BUILD_DIR; configuring..."
+    cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
+  fi
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    record "clang-tidy" FAIL
+  else
+    # Product sources only: tests/benches link against gtest/benchmark
+    # whose headers are outside the profile's remit.
+    mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort)
+    TIDY_OK=1
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p "$BUILD_DIR" -quiet "${SOURCES[@]}" || TIDY_OK=0
+    else
+      for src in "${SOURCES[@]}"; do
+        clang-tidy -p "$BUILD_DIR" --quiet "$src" || TIDY_OK=0
+      done
     fi
-  done
+    if [ "$TIDY_OK" = 1 ]; then
+      record "clang-tidy" pass
+    else
+      record "clang-tidy" FAIL
+    fi
+  fi
 fi
 
+echo
+echo "== summary =="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-48s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+if [ "$STATUS" -ne 0 ]; then
+  echo "static analysis: FAILED (see stages marked FAIL above)"
+else
+  echo "static analysis: all executed stages passed"
+fi
 exit $STATUS
