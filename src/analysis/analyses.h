@@ -61,6 +61,19 @@ void run_lock_order_analysis(const std::vector<ParsedFile>& files,
 void run_fp_exact_analysis(const std::vector<ParsedFile>& files,
                            std::vector<Finding>& out);
 
+/// Constant-time flow: secret-dependent control flow (secret-branch),
+/// data-dependent memory access (secret-index), operand-dependent
+/// latency and loop shapes (vartime-op), and secrets passed to known
+/// variable-time library callees (ct-leak-call). Per-function
+/// returns-secret / param-flows-to-branch/index/vartime summaries are
+/// fixed-pointed over the call graph; `// analock: ct_safe` blesses a
+/// reviewed constant-time function (ct_equal implicitly) and
+/// `// analock: declassified(reason)` marks an audited deliberate
+/// release on its line and the line below.
+void run_ct_flow_analysis(const std::vector<ParsedFile>& files,
+                          const CallGraph& graph, int max_depth,
+                          std::vector<Finding>& out);
+
 /// True when `identifier` names key/PUF material by the repo's naming
 /// convention (the taint oracle). Exposed for tests.
 [[nodiscard]] bool is_secret_identifier(std::string_view identifier);

@@ -10,6 +10,7 @@
 #include "analysis/callgraph.h"
 #include "analysis/lexer.h"
 #include "analysis/parser.h"
+#include "par/thread_pool.h"
 
 namespace analock::analysis {
 
@@ -69,11 +70,19 @@ bool Engine::add_file(const std::string& fs_path, std::string display_path) {
 }
 
 std::vector<Finding> Engine::run() const {
-  std::vector<ParsedFile> parsed;
-  parsed.reserve(sources_.size());
-  for (const auto& source : sources_) {
-    parsed.push_back(parse_file(*source));
-  }
+  // Parsing dominates a verify run and each TU parses independently, so
+  // the parse fans out over the shared pool (ANALOCK_THREADS sizes it;
+  // =1 runs inline). Writes are lane-disjoint by the induction variable
+  // and everything downstream of this barrier — call graph, analyses,
+  // suppression, ordering — is serial, so findings and SARIF output are
+  // byte-identical at any thread count.
+  std::vector<ParsedFile> parsed(sources_.size());
+  par::ThreadPool::shared().parallel_for(
+      sources_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          parsed[i] = parse_file(*sources_[i]);
+        }
+      });
   const CallGraph graph(parsed);
 
   std::vector<Finding> findings;
@@ -83,6 +92,7 @@ std::vector<Finding> Engine::run() const {
   run_parallel_analysis(parsed, graph, options_.max_depth, findings);
   run_lock_order_analysis(parsed, graph, findings);
   run_fp_exact_analysis(parsed, findings);
+  run_ct_flow_analysis(parsed, graph, options_.max_depth, findings);
 
   // Apply inline suppressions and attach fingerprints.
   std::map<const SourceFile*, std::map<int, std::set<std::string>>> allows;

@@ -61,6 +61,18 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"fp-contract",
        "fused-multiply-add or contraction-sensitive expression inside "
        "bit-exact lane code (result differs from unfused a*b+c)"},
+      {"secret-branch",
+       "if/while/ternary/switch condition (or short-circuit return) "
+       "decided by key/PUF material, directly or through a call chain"},
+      {"secret-index",
+       "key/PUF material used as a subscript or pointer offset "
+       "(data-dependent memory access pattern)"},
+      {"vartime-op",
+       "variable-time operation on key/PUF material: division/modulo, "
+       "secret-bounded loop trip count, or early loop exit"},
+      {"ct-leak-call",
+       "key/PUF material passed to a known variable-time callee "
+       "(memcmp/strcmp/std::find/map lookup); use analock::ct_equal"},
   };
   return rules;
 }

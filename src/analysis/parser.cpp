@@ -416,6 +416,7 @@ class FileParser {
     def.requires_mutex = find_requires_annotation(def);
     def.is_parallel_region = has_annotation_flag(def, "parallel_region");
     def.is_thread_safe = has_annotation_flag(def, "thread_safe");
+    def.is_ct_safe = has_annotation_flag(def, "ct_safe");
     extract_body(def, body_open, body_close);
     out_.functions.push_back(std::move(def));
     resume = body_close + 1;
@@ -605,8 +606,29 @@ class FileParser {
         handle_range_for(def, i + 1, body_close);
         handle_for_init(def, i + 1, brace_stack, body_close,
                         decl_init_parens);
+        handle_for_bound(def, i, i + 1, body_close);
         // Fall through: the loop contents still get generic extraction.
       }
+
+      if ((t == "if" || t == "while" || t == "switch") &&
+          i + 1 < body_close && toks_[i + 1].is("(")) {
+        record_condition(def, i, i + 1, body_close);
+      }
+      // `if constexpr (...)` is resolved at compile time: no runtime
+      // branch, so record_condition is skipped via the paren check above
+      // (the token after `if` is `constexpr`, not `(`).
+
+      if (t == "?") record_ternary(def, i, body_open);
+
+      if (t == "[" && i > body_open + 1 &&
+          (toks_[i - 1].is_ident() || toks_[i - 1].is(")") ||
+           toks_[i - 1].is("]"))) {
+        record_subscript(def, i, body_close);
+      }
+
+      if (t == "/" || t == "%") record_divmod(def, i, body_open, body_close);
+
+      if (t == "break") def.break_offsets.push_back(tok.offset);
 
       if (t == "return") {
         std::size_t j = i + 1;
@@ -1081,6 +1103,31 @@ class FileParser {
     return true;
   }
 
+  /// Body extent after a loop/condition close paren: a brace block or a
+  /// single statement up to the next ';' at depth 0.
+  void body_extent(std::size_t start_tok, std::size_t body_close,
+                   std::size_t& begin, std::size_t& end) const {
+    if (start_tok < body_close && toks_[start_tok].is("{")) {
+      const std::size_t close_tok = brackets_->brace_close[start_tok];
+      begin = toks_[start_tok].offset + 1;
+      end = close_tok < toks_.size() ? toks_[close_tok].offset
+                                     : code_.size();
+      return;
+    }
+    std::size_t k = start_tok;
+    int d = 0;
+    while (k < body_close) {
+      const std::string_view t = toks_[k].text;
+      if (t == "(" || t == "[" || t == "{") ++d;
+      if (t == ")" || t == "]" || t == "}") --d;
+      if (t == ";" && d <= 0) break;
+      ++k;
+    }
+    begin = start_tok < toks_.size() ? toks_[start_tok].offset
+                                     : code_.size();
+    end = k < toks_.size() ? toks_[k].offset : code_.size();
+  }
+
   void handle_range_for(FunctionDef& def, std::size_t paren,
                         std::size_t body_close) {
     const std::size_t close = brackets_->paren_close[paren];
@@ -1101,28 +1148,194 @@ class FileParser {
     if (colon == 0) return;
     RangeForLoop loop;
     loop.range_text = slice(code_, toks_, colon + 1, close);
-    std::size_t body_tok = close + 1;
-    if (body_tok < body_close && toks_[body_tok].is("{")) {
-      const std::size_t body_end_tok = brackets_->brace_close[body_tok];
-      loop.body_begin = toks_[body_tok].offset + 1;
-      loop.body_end = body_end_tok < toks_.size()
-                          ? toks_[body_end_tok].offset
-                          : code_.size();
-    } else {
-      // Single statement body: until the next ';' at depth 0.
-      std::size_t k = body_tok;
-      int d = 0;
-      while (k < body_close) {
-        const std::string_view t = toks_[k].text;
-        if (t == "(" || t == "[" || t == "{") ++d;
-        if (t == ")" || t == "]" || t == "}") --d;
-        if (t == ";" && d <= 0) break;
-        ++k;
-      }
-      loop.body_begin = body_tok < toks_.size() ? toks_[body_tok].offset : 0;
-      loop.body_end = k < toks_.size() ? toks_[k].offset : code_.size();
-    }
+    body_extent(close + 1, body_close, loop.body_begin, loop.body_end);
+    def.loops.push_back({loop.range_text, toks_[paren - 1].offset,
+                         loop.body_begin, loop.body_end});
     def.range_fors.push_back(std::move(loop));
+  }
+
+  /// Classic-for middle clause (`for (init; COND; step)`): the loop's
+  /// trip-count bound. Range-fors never reach the semicolon scan.
+  void handle_for_bound(FunctionDef& def, std::size_t kw_tok,
+                        std::size_t paren, std::size_t body_close) {
+    const std::size_t close = brackets_->paren_close[paren];
+    if (close >= toks_.size()) return;
+    std::vector<std::size_t> semis;
+    int d = 0;
+    for (std::size_t k = paren + 1; k < close; ++k) {
+      const std::string_view t = toks_[k].text;
+      if (t == "(" || t == "[" || t == "{") ++d;
+      if (t == ")" || t == "]" || t == "}") --d;
+      if (t == ";" && d == 0) semis.push_back(k);
+    }
+    if (semis.size() < 2) return;  // range-for or malformed
+    LoopSite loop;
+    loop.bound_text = slice(code_, toks_, semis[0] + 1, semis[1]);
+    loop.offset = toks_[kw_tok].offset;
+    body_extent(close + 1, body_close, loop.body_begin, loop.body_end);
+    def.loops.push_back(std::move(loop));
+  }
+
+  /// Records an `if`/`while`/`switch` condition. `while` conditions
+  /// double as LoopSite bounds (except the trailing `while` of a
+  /// do-while, whose body precedes the keyword).
+  void record_condition(FunctionDef& def, std::size_t kw_tok,
+                        std::size_t paren, std::size_t body_close) {
+    const std::size_t close = brackets_->paren_close[paren];
+    if (close >= toks_.size()) return;
+    std::string text = slice(code_, toks_, paren + 1, close);
+    // C++17 init-statement (`if (init; cond)`): the condition is after
+    // the last top-level ';'.
+    {
+      int d = 0;
+      std::size_t last_semi = std::string::npos;
+      for (std::size_t k = 0; k < text.size(); ++k) {
+        const char c = text[k];
+        if (c == '(' || c == '[' || c == '{') ++d;
+        if (c == ')' || c == ']' || c == '}') --d;
+        if (c == ';' && d == 0) last_semi = k;
+      }
+      if (last_semi != std::string::npos) {
+        text = trim(std::string_view(text).substr(last_semi + 1));
+      }
+    }
+    ConditionSite site;
+    const std::string_view kw = toks_[kw_tok].text;
+    const bool do_while = kw == "while" && close + 1 < toks_.size() &&
+                          toks_[close + 1].is(";");
+    if (kw == "if") {
+      site.kind = ConditionSite::Kind::kIf;
+    } else if (kw == "switch") {
+      site.kind = ConditionSite::Kind::kSwitch;
+    } else {
+      site.kind = do_while ? ConditionSite::Kind::kDoWhile
+                           : ConditionSite::Kind::kWhile;
+    }
+    site.text = std::move(text);
+    site.offset = toks_[kw_tok].offset;
+    if (site.kind == ConditionSite::Kind::kWhile) {
+      LoopSite loop;
+      loop.bound_text = site.text;
+      loop.offset = site.offset;
+      body_extent(close + 1, body_close, loop.body_begin, loop.body_end);
+      def.loops.push_back(std::move(loop));
+    }
+    def.conditions.push_back(std::move(site));
+  }
+
+  /// Ternary condition: the expression between the nearest enclosing
+  /// boundary and the '?'.
+  void record_ternary(FunctionDef& def, std::size_t q_tok,
+                      std::size_t body_open) {
+    std::size_t j = q_tok;
+    int depth = 0;
+    while (j > body_open + 1) {
+      const std::string_view pt = toks_[j - 1].text;
+      if (pt == ")" || pt == "]" || pt == "}") {
+        ++depth;
+        --j;
+        continue;
+      }
+      if (pt == "(" || pt == "[" || pt == "{") {
+        if (depth == 0) break;
+        --depth;
+        --j;
+        continue;
+      }
+      if (depth == 0 &&
+          (pt == ";" || pt == "," || pt == "=" || pt == "return" ||
+           pt == ":" || pt == "?")) {
+        break;
+      }
+      --j;
+    }
+    std::string text = slice(code_, toks_, j, q_tok);
+    if (text.empty()) return;
+    def.conditions.push_back(
+        {ConditionSite::Kind::kTernary, std::move(text),
+         toks_[q_tok].offset});
+  }
+
+  /// Subscript `base[index]`: the index text between the brackets.
+  void record_subscript(FunctionDef& def, std::size_t open_tok,
+                        std::size_t body_close) {
+    int d = 0;
+    std::size_t k = open_tok;
+    while (k < body_close) {
+      if (toks_[k].is("[")) ++d;
+      if (toks_[k].is("]") && --d == 0) break;
+      ++k;
+    }
+    if (k >= body_close) return;
+    std::string inner = slice(code_, toks_, open_tok + 1, k);
+    if (inner.empty()) return;
+    def.subscripts.push_back({std::move(inner), toks_[open_tok].offset});
+  }
+
+  /// Division/modulo operands: the postfix chain directly left of the
+  /// operator, and the right-hand side up to the next top-level
+  /// expression boundary.
+  void record_divmod(FunctionDef& def, std::size_t op_tok,
+                     std::size_t body_open, std::size_t body_close) {
+    // Left operand: walk a postfix-expression chain backwards.
+    std::size_t j = op_tok;
+    while (j > body_open + 1) {
+      const Token& prev = toks_[j - 1];
+      if (prev.is(")") || prev.is("]")) {
+        const std::string_view open = prev.is(")") ? "(" : "[";
+        const std::string_view close = prev.text;
+        int d = 0;
+        std::size_t k = j;
+        bool balanced = false;
+        while (k > body_open) {
+          --k;
+          if (toks_[k].text == close) {
+            ++d;
+          } else if (toks_[k].text == open) {
+            if (--d == 0) {
+              balanced = true;
+              break;
+            }
+          }
+        }
+        if (!balanced) break;
+        j = k;
+        continue;
+      }
+      if (prev.is_ident() || prev.kind == TokKind::kNumber) {
+        --j;
+        if (j > body_open + 1 &&
+            (toks_[j - 1].is(".") || toks_[j - 1].is("->") ||
+             toks_[j - 1].is("::"))) {
+          --j;
+          continue;
+        }
+        break;
+      }
+      break;
+    }
+    const std::string lhs = slice(code_, toks_, j, op_tok);
+    // Right operand: forward to the next top-level boundary.
+    std::size_t k = op_tok + 1;
+    if (k < body_close && toks_[k].is("=")) ++k;  // '/=' or '%='
+    const std::size_t rstart = k;
+    int d = 0;
+    while (k < body_close) {
+      const std::string_view rt = toks_[k].text;
+      if (rt == "(" || rt == "[" || rt == "{") ++d;
+      if (rt == ")" || rt == "]" || rt == "}") {
+        if (d == 0) break;
+        --d;
+      }
+      if (d == 0 && (rt == ";" || rt == "," || rt == "?" || rt == ":" ||
+                     rt == "&&" || rt == "||")) {
+        break;
+      }
+      ++k;
+    }
+    const std::string rhs = slice(code_, toks_, rstart, k);
+    if (lhs.empty() && rhs.empty()) return;
+    def.divmods.push_back({lhs, rhs, toks_[op_tok].offset});
   }
 
   // -------------------------------------------------- guarded_by collection
@@ -1236,6 +1449,7 @@ std::vector<std::string> split_top_level_args(std::string_view args) {
   return out;
 }
 
+// analock: thread_safe -- pure function of its SourceFile, no statics
 ParsedFile parse_file(const SourceFile& source) {
   ParsedFile parsed;
   parsed.source = &source;

@@ -78,6 +78,43 @@ struct CompoundAssign {
   std::size_t offset = 0;
 };
 
+/// One control-flow condition whose evaluation gates execution timing:
+/// `if (...)`, `while (...)`, the trailing `while` of do-while,
+/// `switch (...)`, or the expression before a ternary '?'. Classic
+/// `for` middle clauses are recorded as LoopSite bounds instead.
+struct ConditionSite {
+  enum class Kind { kIf, kWhile, kDoWhile, kSwitch, kTernary };
+  Kind kind = Kind::kIf;
+  std::string text;        ///< condition expression text
+  std::size_t offset = 0;  ///< offset of the controlling keyword / '?'
+};
+
+/// One subscript expression `base[index]` in a body (array declarators
+/// `double buf[N]` are recorded too: a secret-sized buffer is itself a
+/// variable-time allocation).
+struct SubscriptSite {
+  std::string index_text;  ///< text inside the brackets
+  std::size_t offset = 0;  ///< offset of the '['
+};
+
+/// One '/' or '%' (including '/=', '%=') with its operand texts: the
+/// left operand is the postfix chain directly before the operator, the
+/// right operand runs to the next top-level expression boundary.
+struct DivModSite {
+  std::string lhs;
+  std::string rhs;
+  std::size_t offset = 0;
+};
+
+/// One loop with the expression controlling its trip count: the middle
+/// clause of a classic `for`, a `while` condition, or a range-for range.
+struct LoopSite {
+  std::string bound_text;      ///< trip-count-controlling expression
+  std::size_t offset = 0;      ///< offset of the loop keyword
+  std::size_t body_begin = 0;  ///< offset just inside the loop body
+  std::size_t body_end = 0;
+};
+
 /// One store: `head[sub] = rhs`, `head.field = rhs`, `head += rhs`, ...
 /// `head` is the base identifier of the assigned chain, so `*jobs[s].dst
 /// = v` records head "jobs" with subscript "s".
@@ -114,6 +151,7 @@ struct FunctionDef {
   std::string requires_mutex;  ///< from `// analock: requires(m)`
   bool is_parallel_region = false;  ///< `// analock: parallel_region`
   bool is_thread_safe = false;      ///< `// analock: thread_safe`
+  bool is_ct_safe = false;          ///< `// analock: ct_safe`
   std::size_t name_offset = 0;
   std::size_t body_begin = 0;  ///< offset just inside '{'
   std::size_t body_end = 0;    ///< offset of matching '}'
@@ -128,6 +166,11 @@ struct FunctionDef {
   std::vector<CompoundAssign> compound_assigns;
   std::vector<WriteSite> writes;
   std::vector<ParallelRegion> parallel_regions;
+  std::vector<ConditionSite> conditions;
+  std::vector<SubscriptSite> subscripts;
+  std::vector<DivModSite> divmods;
+  std::vector<LoopSite> loops;
+  std::vector<std::size_t> break_offsets;  ///< offsets of `break` tokens
 };
 
 struct AnnotatedMember {

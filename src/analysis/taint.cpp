@@ -11,7 +11,7 @@
 //   param_to_sink[i]   param i reaches a sink inside the callee
 //                      (directly or through deeper calls, to a depth);
 //   param_to_return[i] param i appears in a return expression;
-//   returns_secret     some return expression is itself tainted.
+//   returns_tainted     some return expression is itself tainted.
 //
 // so one-hop laundering like log_debug(format_key(k)) is caught: the
 // argument is tainted because format_key's return carries its secret
@@ -28,7 +28,7 @@ namespace analock::analysis {
 
 namespace {
 
-const char* const kSecretSubstrings[] = {
+const char* const kOracleNameParts[] = {
     "secret",      "config_key", "user_key",  "id_key",  "wrapped_key",
     "chip_key",    "private_key", "true_key", "keypair", "puf_key",
     "key_bits",    "key_word",
@@ -116,7 +116,7 @@ struct Summary {
   std::vector<bool> param_to_sink;
   std::vector<std::string> sink_via;  ///< describes the path per param
   std::vector<bool> param_to_return;
-  bool returns_secret = false;
+  bool returns_tainted = false;
 };
 
 struct TaintContext {
@@ -152,7 +152,7 @@ bool is_sink_call(const CallSite& call) {
 
 /// Returns a non-empty witness when `expr` carries key material. The
 /// context supplies function-local type knowledge and cross-TU
-/// returns_secret / param_to_return summaries.
+/// returns_tainted / param_to_return summaries.
 std::string taint_witness(std::string_view expr, const FunctionDef& fn,
                           const TaintContext& ctx, int depth) {
   std::string witness;
@@ -186,8 +186,8 @@ std::string taint_witness(std::string_view expr, const FunctionDef& fn,
       }
     }
     if (bare_ident) {
-      const std::set<std::string> secret_vars = ctx.secret_typed_names(fn);
-      if (secret_vars.count(trimmed) > 0) {
+      const std::set<std::string> tainted_names = ctx.secret_typed_names(fn);
+      if (tainted_names.count(trimmed) > 0) {
         return trimmed + " (secret-typed)";
       }
     }
@@ -200,7 +200,7 @@ std::string taint_witness(std::string_view expr, const FunctionDef& fn,
   // argument flows through param_to_return.
   for (const auto& [def, summary] : ctx.summaries) {
     const bool interesting =
-        summary.returns_secret ||
+        summary.returns_tainted ||
         std::find(summary.param_to_return.begin(),
                   summary.param_to_return.end(),
                   true) != summary.param_to_return.end();
@@ -221,7 +221,7 @@ std::string taint_witness(std::string_view expr, const FunctionDef& fn,
         pos = end;
         continue;
       }
-      if (summary.returns_secret) {
+      if (summary.returns_tainted) {
         return def->base_name + "() returns key material";
       }
       // Check tainted args against param_to_return.
@@ -312,25 +312,25 @@ void compute_summaries(const std::vector<ParsedFile>& files,
         return true;
       });
       if (!witness.empty() || has_secret_accessor(ret.text)) {
-        s.returns_secret = true;
+        s.returns_tainted = true;
         break;
       }
       // Returning a secret-typed param or local whole.
       for (const Param& p : fn.params) {
         if (!p.name.empty() && is_secret_type(p.type) &&
             contains_word(ret.text, p.name)) {
-          s.returns_secret = true;
+          s.returns_tainted = true;
           break;
         }
       }
       for (const VarDecl& local : fn.locals) {
         if (is_secret_type(local.type) &&
             contains_word(ret.text, local.name)) {
-          s.returns_secret = true;
+          s.returns_tainted = true;
           break;
         }
       }
-      if (s.returns_secret) break;
+      if (s.returns_tainted) break;
     }
     ctx.summaries.emplace(&fn, std::move(s));
   }
@@ -416,7 +416,7 @@ bool is_secret_identifier(std::string_view identifier) {
       return false;
     }
   }
-  for (const char* marker : kSecretSubstrings) {
+  for (const char* marker : kOracleNameParts) {
     if (lower.find(marker) != std::string::npos) return true;
   }
   // puf_* / key_* prefixed identifiers carry material by convention.

@@ -28,7 +28,7 @@ FaultInjector::FaultInjector(FaultPlan plan)
       meas_rng_(sim::Rng(plan_.seed)
                     .fork(plan_.campaign_id)
                     .fork("fault-measurement")),
-      puf_rng_(sim::Rng(plan_.seed).fork(plan_.campaign_id).fork("fault-puf")),
+      flip_rng_(sim::Rng(plan_.seed).fork(plan_.campaign_id).fork("fault-puf")),
       channel_rng_(
           sim::Rng(plan_.seed).fork(plan_.campaign_id).fork("fault-channel")) {
   sim::Rng stuck_rng =
@@ -70,6 +70,7 @@ double FaultInjector::perturb_measurement(std::string_view site,
 std::uint64_t FaultInjector::perturb_word(std::uint64_t bits) {
   if (stuck0_ == 0 && stuck1_ == 0) return bits;
   const std::uint64_t faulted = (bits & ~stuck0_) | stuck1_;
+  // analock: declassified(campaign telemetry: whether a stuck register bit changed the word, not the word's value)
   if (faulted != bits) {
     ++counts_.words_stuck;
     obs::count("fault.word_stuck");
@@ -79,7 +80,7 @@ std::uint64_t FaultInjector::perturb_word(std::uint64_t bits) {
 
 bool FaultInjector::perturb_puf_response(bool clean) {
   if (plan_.puf_flip_prob <= 0.0) return clean;
-  if (!puf_rng_.bernoulli(plan_.puf_flip_prob)) return clean;
+  if (!flip_rng_.bernoulli(plan_.puf_flip_prob)) return clean;
   ++counts_.puf_flips;
   obs::count("fault.puf_flip");
   return !clean;

@@ -73,7 +73,7 @@ class FaultInjector {
   std::uint64_t stuck0_ = 0;  ///< bits forced to 0
   std::uint64_t stuck1_ = 0;  ///< bits forced to 1
   sim::Rng meas_rng_;
-  sim::Rng puf_rng_;
+  sim::Rng flip_rng_;
   sim::Rng channel_rng_;
   Counts counts_;
 };

@@ -24,6 +24,7 @@
 namespace analock {
 
 /// Branch-free equality of two 64-bit words.
+// analock: ct_safe
 [[nodiscard]] inline bool ct_equal(std::uint64_t a, std::uint64_t b) {
   volatile std::uint64_t folded = a ^ b;
   const std::uint64_t d = folded;
@@ -33,20 +34,33 @@ namespace analock {
 }
 
 /// Branch-free equality of 32-bit words (frame tags, CRC residues).
+// analock: ct_safe
 [[nodiscard]] inline bool ct_equal(std::uint32_t a, std::uint32_t b) {
   return ct_equal(static_cast<std::uint64_t>(a),
                   static_cast<std::uint64_t>(b));
 }
 
 /// Constant-time equality of two key words.
+// analock: ct_safe
 [[nodiscard]] inline bool ct_equal(const lock::Key64& a,
                                    const lock::Key64& b) {
   return ct_equal(a.bits(), b.bits());
 }
 
+/// Branch-free two-way select: `flag ? yes : no` with `flag` in {0, 1}.
+/// The mask expansion compiles to and/xor, never a conditional jump, so
+/// selecting on a key bit does not modulate execution time.
+// analock: ct_safe
+[[nodiscard]] inline std::uint64_t ct_select(std::uint64_t flag,
+                                             std::uint64_t yes,
+                                             std::uint64_t no) {
+  return no ^ ((yes ^ no) & (0 - flag));
+}
+
 /// Constant-time equality of two byte buffers. Unequal lengths compare
 /// unequal immediately — length is not secret, the contents are. The
 /// scan always touches every byte of both buffers.
+// analock: ct_safe
 [[nodiscard]] inline bool ct_equal(std::span<const std::uint8_t> a,
                                    std::span<const std::uint8_t> b) {
   if (a.size() != b.size()) return false;

@@ -1,5 +1,7 @@
 #include "lock/key_layout.h"
 
+#include "lock/ct_equal.h"
+
 namespace analock::lock {
 
 // Compile-time mirror of analock-lint's layout rules: every field fits in
@@ -99,11 +101,20 @@ rf::ReceiverConfig decode_key(const Key64& key, std::uint32_t digital_mode) {
   return config;
 }
 
+// analock: ct_safe
 bool is_mission_mode(const Key64& key) {
   using L = KeyLayout;
-  return key.bit(L::kFeedbackEnable) && key.bit(L::kCompClockEnable) &&
-         key.bit(L::kGminEnable) && !key.bit(L::kBufferInPath) &&
-         key.field(L::kTestMux) == 0;
+  // Branch-free conjunction: short-circuit && would exit at the first
+  // failing gate bit, so the check's latency would reveal which of the
+  // five mode conditions a key fails. Fold them arithmetically instead.
+  const std::uint64_t ok =
+      static_cast<std::uint64_t>(key.bit(L::kFeedbackEnable)) &
+      static_cast<std::uint64_t>(key.bit(L::kCompClockEnable)) &
+      static_cast<std::uint64_t>(key.bit(L::kGminEnable)) &
+      static_cast<std::uint64_t>(!key.bit(L::kBufferInPath)) &
+      static_cast<std::uint64_t>(
+          analock::ct_equal(key.field(L::kTestMux), std::uint64_t{0}));
+  return ok != 0;
 }
 
 Key64 force_mission_mode(const Key64& key) {

@@ -84,6 +84,7 @@ void PufXorScheme::provision(std::size_t slot, const Key64& config_key) {
 
 std::optional<Key64> PufXorScheme::load(std::size_t slot) {
   if (slot >= user_keys_.size()) return std::nullopt;
+  // analock: declassified(slot occupancy is public provisioning state; the stored key bits are untouched by this branch)
   if (!user_keys_[slot]) return std::nullopt;
   const Key64 id = regenerate_id(slot);
   return *user_keys_[slot] ^ id;

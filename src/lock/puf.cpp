@@ -5,13 +5,16 @@
 namespace analock::lock {
 
 Key64 majority_vote_keys(std::span<const Key64> keys) {
+  // Branch-free tally: the regenerated words are real key material, so
+  // the vote must not branch per bit value — the popcount accumulates
+  // arithmetically and the majority verdict lands as a mask, not a jump.
   std::uint64_t voted = 0;
   for (unsigned bit = 0; bit < 64; ++bit) {
     std::size_t ones = 0;
     for (const Key64& k : keys) {
-      if (k.bit(bit)) ++ones;
+      ones += (k.bits() >> bit) & 1u;
     }
-    if (2 * ones > keys.size()) voted |= 1ULL << bit;
+    voted |= static_cast<std::uint64_t>(2 * ones > keys.size()) << bit;
   }
   return Key64{voted};
 }
@@ -45,9 +48,11 @@ bool ArbiterPuf::response(std::uint64_t challenge) {
 }
 
 bool ArbiterPuf::response_voted(std::uint64_t challenge, unsigned votes) {
+  // Same discipline as majority_vote_keys: the response bit is secret,
+  // so it is accumulated, never branched on.
   unsigned ones = 0;
   for (unsigned v = 0; v < votes; ++v) {
-    if (response(challenge)) ++ones;
+    ones += static_cast<unsigned>(response(challenge));
   }
   return 2 * ones > votes;
 }
@@ -67,7 +72,8 @@ Key64 ArbiterPuf::identification_key(std::uint64_t domain, unsigned votes) {
       if (std::abs(delay_difference(challenge)) > 5.0 * noise_sigma_) break;
       challenge = sim::splitmix64(seed);
     }
-    if (response_voted(challenge, votes)) key_bits |= 1ULL << bit;
+    key_bits |=
+        static_cast<std::uint64_t>(response_voted(challenge, votes)) << bit;
   }
   return Key64{key_bits};
 }

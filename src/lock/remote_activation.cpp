@@ -19,6 +19,49 @@ std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
   return static_cast<std::uint64_t>(static_cast<u128>(a) * b % m);
 }
 
+/// a+b mod m without branches or division. Operands must already be
+/// reduced (< m); the sum then wraps at most once, so a single masked
+/// subtract restores the range whatever the values are.
+std::uint64_t ct_add_mod(std::uint64_t a, std::uint64_t b,
+                         std::uint64_t m) {
+  const std::uint64_t s = a + b;
+  const std::uint64_t carried = static_cast<std::uint64_t>(s < a);
+  const std::uint64_t over = static_cast<std::uint64_t>(s >= m);
+  return s - (m & (0 - (carried | over)));
+}
+
+/// a*b mod m as 64 masked double-and-adds: no 128-bit divide, no
+/// operand-dependent latency. `a` must be reduced (< m); `b` may be any
+/// 64-bit value — every iteration performs the same two adds whether the
+/// multiplier bit is set or not.
+std::uint64_t ct_mod_mul(std::uint64_t a, std::uint64_t b,
+                         std::uint64_t m) {
+  std::uint64_t acc = 0;
+  for (int i = 63; i >= 0; --i) {
+    acc = ct_add_mod(acc, acc, m);
+    const std::uint64_t take = 0 - ((b >> i) & 1u);
+    acc = ct_add_mod(acc, a & take, m);
+  }
+  return acc;
+}
+
+/// Variable-time square-and-multiply, reserved for the primality search
+/// below: candidates and Miller-Rabin witnesses drive a trial count that
+/// is data-dependent anyway (key generation runs once, on-die, at
+/// power-on and is not constant-time). Never call this with private-key
+/// material — the public mod_pow is the fixed-ladder version.
+std::uint64_t mod_pow_vartime(std::uint64_t base, std::uint64_t exp,
+                              std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1u) result = mod_mul(result, base, m);
+    base = mod_mul(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
 /// Extended Euclid: modular inverse of a mod m (a, m coprime).
 std::uint64_t mod_inverse(std::uint64_t a, std::uint64_t m) {
   std::int64_t t = 0;
@@ -44,12 +87,18 @@ constexpr std::uint64_t kFrameTag = 0x5A;
 
 std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
                       std::uint64_t m) {
-  std::uint64_t result = 1 % m;
-  base %= m;
-  while (exp != 0) {
-    if (exp & 1u) result = mod_mul(result, base, m);
-    base = mod_mul(base, base, m);
-    exp >>= 1;
+  // Fixed Montgomery-style ladder: exactly 64 squarings and 64 masked
+  // multiplies whatever the exponent's bit pattern. On the decryption
+  // path the exponent is the RSA private exponent, so nothing here may
+  // branch, subscript, or divide on it — the classic square-and-multiply
+  // `if (exp & 1)` is the textbook RSA timing leak, and analock-verify's
+  // secret-branch/vartime-op rules hold this function to the ladder.
+  std::uint64_t b = ct_mod_mul(1u, base, m);  // base mod m, branch-free
+  std::uint64_t result = ct_add_mod(1u, 0u, m);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t bit = (exp >> i) & 1u;
+    result = analock::ct_select(bit, ct_mod_mul(result, b, m), result);
+    b = ct_mod_mul(b, b, m);
   }
   return result;
 }
@@ -69,7 +118,7 @@ bool is_prime_u64(std::uint64_t n) {
   // These witnesses are exact for every n < 2^64.
   for (const std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull,
                                 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
-    std::uint64_t x = mod_pow(a, d, n);
+    std::uint64_t x = mod_pow_vartime(a, d, n);
     if (x == 1 || x == n - 1) continue;
     bool composite = true;
     for (unsigned i = 1; i < r; ++i) {
@@ -126,30 +175,37 @@ RemoteActivationChip::RemoteActivationChip(ArbiterPuf& puf,
   // Majority-voting the regenerated seed keeps the pair stable when PUF
   // responses flip — a single wrong seed bit yields a different modulus
   // and every outstanding ciphertext stops decrypting.
+  RsaKeyPair derived;
   if (derive_votes <= 1) {
-    keypair_ = RsaKeyPair::derive(puf.identification_key(0xAC).bits());
+    derived = RsaKeyPair::derive(puf.identification_key(0xAC).bits());
   } else {
     std::vector<Key64> seeds;
     seeds.reserve(derive_votes);
     for (unsigned v = 0; v < derive_votes; ++v) {
       seeds.push_back(puf.identification_key(0xAC));
     }
-    keypair_ = RsaKeyPair::derive(majority_vote_keys(seeds).bits());
+    derived = RsaKeyPair::derive(majority_vote_keys(seeds).bits());
   }
+  // The pair is stored split: the private exponent is the only secret
+  // member, and keeping the public modulus/exponent in their own fields
+  // means handing them out never touches private-key material.
+  private_key_d_ = derived.d;
+  pub_n_ = derived.n;
+  pub_e_ = derived.e;
 }
 
 RsaPublicKey RemoteActivationChip::public_key() const {
-  return {keypair_.n, keypair_.e};
+  return {pub_n_, pub_e_};
 }
 
-WrappedKey wrap_key(const Key64& config_key, const RsaPublicKey& chip_key) {
+WrappedKey wrap_key(const Key64& config_key, const RsaPublicKey& chip_pub) {
   // Frame each 32-bit half with the tag byte; plaintext stays < 2^40,
   // comfortably below the ~2^62 modulus.
   const std::uint64_t lo =
       (config_key.bits() & 0xFFFFFFFFull) | (kFrameTag << 32);
   const std::uint64_t hi = (config_key.bits() >> 32) | (kFrameTag << 32);
-  return {mod_pow(lo, chip_key.e, chip_key.n),
-          mod_pow(hi, chip_key.e, chip_key.n)};
+  return {mod_pow(lo, chip_pub.e, chip_pub.n),
+          mod_pow(hi, chip_pub.e, chip_pub.n)};
 }
 
 bool RemoteActivationChip::install_wrapped_key(std::size_t slot,
@@ -158,8 +214,8 @@ bool RemoteActivationChip::install_wrapped_key(std::size_t slot,
   // One activation per slot: replaying a (possibly captured) ciphertext
   // into a provisioned slot is rejected rather than overwriting.
   if (keys_[slot].has_value()) return false;
-  const std::uint64_t lo = mod_pow(wrapped.c_lo, keypair_.d, keypair_.n);
-  const std::uint64_t hi = mod_pow(wrapped.c_hi, keypair_.d, keypair_.n);
+  const std::uint64_t lo = mod_pow(wrapped.c_lo, private_key_d_, pub_n_);
+  const std::uint64_t hi = mod_pow(wrapped.c_hi, private_key_d_, pub_n_);
   // The decrypted halves are secret plaintext: check both frame tags in
   // constant time, with no early exit between the two halves.
   const bool lo_ok = analock::ct_equal(lo >> 32, kFrameTag);

@@ -32,7 +32,10 @@
 
 namespace analock::lock {
 
-/// Modular exponentiation (base^exp mod m) via 128-bit intermediates.
+/// Modular exponentiation (base^exp mod m) as a fixed 64-step ladder:
+/// constant-time in the exponent (the RSA private exponent on the
+/// decryption path), with branch-free masked add-mod arithmetic instead
+/// of hardware division.
 [[nodiscard]] std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
                                     std::uint64_t m);
 
@@ -101,12 +104,17 @@ class RemoteActivationChip final : public KeyManagementScheme {
   [[nodiscard]] std::size_t storage_bits() const override;
 
  private:
-  RsaKeyPair keypair_;
+  /// RSA private exponent — the only secret member; re-derived from the
+  /// PUF at construction, never stored off-die.
+  std::uint64_t private_key_d_ = 0;
+  std::uint64_t pub_n_ = 0;  ///< public modulus
+  std::uint64_t pub_e_ = 0;  ///< public exponent
   std::vector<std::optional<Key64>> keys_;
 };
 
-/// Design-house side: wraps a configuration key for a specific chip.
+/// Design-house side: wraps a configuration key for a specific chip
+/// given the chip's public key (obtained out-of-band at first power-on).
 [[nodiscard]] WrappedKey wrap_key(const Key64& config_key,
-                                  const RsaPublicKey& chip_key);
+                                  const RsaPublicKey& chip_pub);
 
 }  // namespace analock::lock

@@ -174,11 +174,11 @@ RemoteActivationSession::RemoteActivationSession(
 
 RemoteActivationSession::Result RemoteActivationSession::activate(
     std::size_t slot, const Key64& config_key,
-    const RsaPublicKey& chip_key) {
+    const RsaPublicKey& chip_pub) {
   ANALOCK_SPAN("session.activate");
   Result result;
   const std::uint64_t session_start = channel_->now();
-  const WrappedKey wrapped = wrap_key(config_key, chip_key);
+  const WrappedKey wrapped = wrap_key(config_key, chip_pub);
   // Retransmits reuse this sequence number so the endpoint can dedupe.
   const std::uint32_t seq = next_seq_++;
   const auto frame =

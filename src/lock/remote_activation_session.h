@@ -124,9 +124,9 @@ class RemoteActivationSession {
                           std::uint64_t session_seed = 1);
 
   /// Runs the full retry protocol for one slot. The configuration key is
-  /// wrapped with `chip_key` (obtained out-of-band at first power-on).
+  /// wrapped with `chip_pub` (obtained out-of-band at first power-on).
   Result activate(std::size_t slot, const Key64& config_key,
-                  const RsaPublicKey& chip_key);
+                  const RsaPublicKey& chip_pub);
 
  private:
   RemoteActivationChipEndpoint* endpoint_;

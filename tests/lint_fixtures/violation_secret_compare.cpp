@@ -19,8 +19,12 @@ bool oracle_rejects(const Key64& user_key_slot, const Key64& probe) {
   return user_key_slot != probe;  // expect: secret-compare
 }
 
+// Negative case: memcmp on key material is analock-verify's territory
+// (rule ct-leak-call, tests/verify_fixtures/ct/violation_ct_leak_call.cpp);
+// the lint rule must NOT double-report it. The `== 0` survives because
+// neither operand of the comparison itself names key material.
 bool byte_oracle(const Key64& wrapped_key, const Key64& probe) {
-  return std::memcmp(&wrapped_key, &probe, sizeof probe) == 0;  // expect: secret-compare
+  return std::memcmp(&wrapped_key, &probe, sizeof probe) == 0;
 }
 
 }  // namespace fixture

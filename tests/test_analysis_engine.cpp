@@ -534,6 +534,180 @@ TEST(EngineFpExact, ScopedToBatchLaneFilesAndAnnotation) {
             ann_rules.end());
 }
 
+// ------------------------------------------------------------------ ct-flow
+
+TEST(EngineCtFlow, SecretBranchFlagged) {
+  Engine engine;
+  engine.add_source("src/lock/a.cpp",
+                    "int f(unsigned long long puf_key) {\n"
+                    "  if (puf_key & 1u) { return 1; }\n"
+                    "  return 0;\n"
+                    "}\n");
+  const std::vector<std::string> rules = rules_of(engine.run());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "secret-branch"),
+            rules.end());
+}
+
+TEST(EngineCtFlow, SecretIndexFlagged) {
+  Engine engine;
+  engine.add_source("src/lock/a.cpp",
+                    "int probe(const int* table, unsigned long long chip_key) {\n"
+                    "  return table[chip_key & 0xFu];\n"
+                    "}\n");
+  const std::vector<std::string> rules = rules_of(engine.run());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "secret-index"),
+            rules.end());
+}
+
+TEST(EngineCtFlow, VartimeDivisionFlagged) {
+  Engine engine;
+  engine.add_source("src/lock/a.cpp",
+                    "unsigned long long r(unsigned long long wrapped_key,\n"
+                    "                     unsigned long long m) {\n"
+                    "  return wrapped_key % m;\n"
+                    "}\n");
+  const std::vector<std::string> rules = rules_of(engine.run());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "vartime-op"), rules.end());
+}
+
+TEST(EngineCtFlow, MemcmpOnSecretIsCtLeakCall) {
+  Engine engine;
+  engine.add_source(
+      "src/lock/a.cpp",
+      "bool tag(const unsigned char* private_key, const unsigned char* p) {\n"
+      "  return std::memcmp(private_key, p, 8) == 0;\n"
+      "}\n");
+  const std::vector<std::string> rules = rules_of(engine.run());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "ct-leak-call"),
+            rules.end());
+}
+
+TEST(EngineCtFlow, BlessedCtEqualComparatorIsClean) {
+  Engine engine;
+  engine.add_source("src/lock/a.cpp",
+                    "bool same(unsigned long long chip_key,\n"
+                    "          unsigned long long tag) {\n"
+                    "  return ct_equal(chip_key, tag);\n"
+                    "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineCtFlow, CtSafeAnnotationExemptsFunctionBody) {
+  Engine engine;
+  engine.add_source("src/lock/a.cpp",
+                    "// analock: ct_safe\n"
+                    "unsigned count(unsigned long long true_key) {\n"
+                    "  unsigned acc = 0;\n"
+                    "  for (int i = 0; i < 64; ++i) acc += (true_key >> i) & 1u;\n"
+                    "  return acc;\n"
+                    "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineCtFlow, DeclassifiedWithReasonSuppressesNextLine) {
+  Engine engine;
+  engine.add_source(
+      "src/lock/a.cpp",
+      "int occupancy(const std::vector<std::optional<int>>& user_keys) {\n"
+      "  // analock: declassified(slot occupancy is public state)\n"
+      "  if (!user_keys[0]) return 0;\n"
+      "  return 1;\n"
+      "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineCtFlow, CrossTuReturnsTaintedReachesBranch) {
+  Engine engine;
+  engine.add_source("src/lock/a.cpp",
+                    "unsigned long long unwrap(unsigned long long m) {\n"
+                    "  const unsigned long long chip_key = m ^ 0xA5u;\n"
+                    "  return chip_key;\n"
+                    "}\n");
+  engine.add_source("src/lock/b.cpp",
+                    "unsigned long long unwrap(unsigned long long m);\n"
+                    "int gate(unsigned long long m) {\n"
+                    "  if (unwrap(m) != 0) { return 1; }\n"
+                    "  return 0;\n"
+                    "}\n");
+  const std::vector<Finding> findings = engine.run();
+  const std::vector<std::string> rules = rules_of(findings);
+  ASSERT_NE(std::find(rules.begin(), rules.end(), "secret-branch"),
+            rules.end());
+  // The branch is in b.cpp; the returns-tainted fact crossed the TU.
+  bool in_b = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "secret-branch" && f.file == "src/lock/b.cpp") in_b = true;
+  }
+  EXPECT_TRUE(in_b);
+}
+
+TEST(EngineCtFlow, StdVocabMemberCallsAreOpaque) {
+  // A member call spelled `.load(...)` must NOT resolve to an unrelated
+  // free/class function named `load` that returns key material.
+  Engine engine;
+  engine.add_source("src/lock/mgr.cpp",
+                    "unsigned long long load(int slot) {\n"
+                    "  unsigned long long user_key = 7ull * slot;\n"
+                    "  return user_key;\n"
+                    "}\n");
+  engine.add_source("src/obs/flag.cpp",
+                    "bool snapshot(const std::atomic<bool>& enabled_) {\n"
+                    "  if (enabled_.load()) { return true; }\n"
+                    "  return false;\n"
+                    "}\n");
+  for (const Finding& f : engine.run()) {
+    EXPECT_NE(f.file, "src/obs/flag.cpp") << f.rule << ": " << f.message;
+  }
+}
+
+TEST(EngineCtFlow, SecretCalleeNameIsNotABranchWitness) {
+  // The *name* of a called function may contain a secret marker; only
+  // its resolved returns-tainted fact makes the condition secret.
+  Engine engine;
+  engine.add_source("src/lock/a.cpp",
+                    "bool install_wrapped_key(int slot);\n"
+                    "int f(int slot) {\n"
+                    "  if (install_wrapped_key(slot)) { return 1; }\n"
+                    "  return 0;\n"
+                    "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineCtFlow, LengthAndPresenceAccessorsArePublic) {
+  Engine engine;
+  engine.add_source(
+      "src/lock/a.cpp",
+      "int n(const std::vector<unsigned long long>& key_words) {\n"
+      "  if (key_words.empty()) return 0;\n"
+      "  return static_cast<int>(key_words.size());\n"
+      "}\n");
+  EXPECT_TRUE(engine.run().empty());
+}
+
+TEST(EngineCtFlow, ParamFlowsToBranchAcrossCall) {
+  // helper branches on its parameter; passing key material at the call
+  // site must surface an interprocedural secret-branch there.
+  Engine engine;
+  engine.add_source("src/lock/h.cpp",
+                    "int helper(unsigned long long v) {\n"
+                    "  if (v != 0) { return 1; }\n"
+                    "  return 0;\n"
+                    "}\n");
+  engine.add_source("src/lock/c.cpp",
+                    "int helper(unsigned long long v);\n"
+                    "int caller(unsigned long long id_key) {\n"
+                    "  return helper(id_key);\n"
+                    "}\n");
+  const std::vector<Finding> findings = engine.run();
+  bool call_site_flagged = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "secret-branch" && f.file == "src/lock/c.cpp") {
+      call_site_flagged = true;
+    }
+  }
+  EXPECT_TRUE(call_site_flagged);
+}
+
 // ------------------------------------------------------------------ sarif
 
 TEST(Sarif, EmitsValidShapeWithFingerprints) {

@@ -1,0 +1,34 @@
+// Fixture: every sanctioned constant-time pattern in one place; nothing
+// here may be flagged. Covers the blessed ct_equal comparator, a
+// ct_safe-annotated helper, a load-bearing declassified(reason)
+// annotation, and the public-shape accessor policy (length and presence
+// are public, contents are not).
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fix_ct_clean {
+
+bool ct_equal(std::uint64_t a, std::uint64_t b);
+
+// analock: ct_safe -- fixed 64-step accumulation, no data-dependent branch
+std::uint64_t masked_accumulate(std::uint64_t true_key) {
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 64; ++i) {
+    acc += (true_key >> i) & 1u;
+  }
+  return acc;
+}
+
+bool tag_matches(std::uint64_t chip_key, std::uint64_t tag) {
+  return ct_equal(chip_key, tag);  // blessed comparator: sanctioned release
+}
+
+int occupancy(const std::vector<std::optional<std::uint64_t>>& user_keys) {
+  if (user_keys.size() == 0) return 0;  // length is public by policy
+  // analock: declassified(slot occupancy is public provisioning state)
+  if (!user_keys[0]) return 0;
+  return 1;
+}
+
+}  // namespace fix_ct_clean

@@ -1,0 +1,19 @@
+// Fixture: key material handed to known variable-time library callees.
+// memcmp bails at the first differing byte; a map probe walks a
+// key-dependent path through the tree. Both must be ct-leak-call.
+#include <cstdint>
+#include <cstring>
+#include <map>
+
+namespace fix_ct_leak {
+
+bool tag_check(const unsigned char* private_key, const unsigned char* probe) {
+  return std::memcmp(private_key, probe, 8) == 0;  // expect: ct-leak-call
+}
+
+int slot_of(const std::map<std::uint64_t, int>& slots, std::uint64_t puf_key) {
+  const auto it = slots.find(puf_key);  // expect: ct-leak-call
+  return it == slots.end() ? -1 : it->second;
+}
+
+}  // namespace fix_ct_leak

@@ -1,0 +1,13 @@
+// Fixture (cross-TU, part A): unwrap_ct_word returns key material. The
+// returns-secret fact must cross the TU boundary and compose through
+// relay_ct_word in part B before the branch there is caught.
+#include <cstdint>
+
+namespace fix_ct_xtu {
+
+std::uint64_t unwrap_ct_word(std::uint64_t masked) {
+  const std::uint64_t chip_key = masked ^ 0xA5A5A5A5ull;
+  return chip_key;
+}
+
+}  // namespace fix_ct_xtu

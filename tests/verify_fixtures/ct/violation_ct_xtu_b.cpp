@@ -1,0 +1,21 @@
+// Fixture (cross-TU, part B): relays part A's secret return through a
+// second hop, then branches on it. The fixed point must mark
+// relay_ct_word as returning key material and flag the branch here.
+#include <cstdint>
+
+namespace fix_ct_xtu {
+
+std::uint64_t unwrap_ct_word(std::uint64_t masked);
+
+std::uint64_t relay_ct_word(std::uint64_t masked) {
+  return unwrap_ct_word(masked);
+}
+
+int activation_gate(std::uint64_t masked) {
+  if (relay_ct_word(masked) != 0) {  // expect: secret-branch
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace fix_ct_xtu

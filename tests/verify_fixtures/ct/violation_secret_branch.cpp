@@ -1,0 +1,32 @@
+// Fixture: secret-dependent control flow, one site per branch kind the
+// parser extracts — if, switch, ternary, and a short-circuit return.
+// Every site must be caught by secret-branch and nothing else.
+#include <cstdint>
+
+namespace fix_ct_branch {
+
+int penalty();
+
+int gate_if(std::uint64_t chip_key) {
+  if ((chip_key & 1u) != 0) return penalty();  // expect: secret-branch
+  return 0;
+}
+
+int gate_switch(std::uint64_t puf_key) {
+  switch (puf_key & 3u) {  // expect: secret-branch
+    case 0:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+int gate_ternary(std::uint64_t key_word) {
+  return (key_word & 1u) != 0 ? 2 : 3;  // expect: secret-branch
+}
+
+bool gate_short_circuit(std::uint64_t wrapped_key, bool armed) {
+  return armed && (wrapped_key & 1u) != 0;  // expect: secret-branch
+}
+
+}  // namespace fix_ct_branch

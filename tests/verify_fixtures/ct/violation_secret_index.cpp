@@ -1,0 +1,17 @@
+// Fixture: key material used as a memory address. Both the subscript
+// form and the pointer-offset form leak the key through the cache
+// access pattern and must be caught by secret-index.
+#include <cstdint>
+
+namespace fix_ct_index {
+
+int table_probe(const int* sbox, std::uint64_t puf_key) {
+  return sbox[puf_key & 0xFu];  // expect: secret-index
+}
+
+int pointer_probe(const int* base_ptr, std::uint64_t id_key) {
+  const int* slot_ptr = base_ptr + (id_key & 7u);  // expect: secret-index
+  return *slot_ptr;
+}
+
+}  // namespace fix_ct_index

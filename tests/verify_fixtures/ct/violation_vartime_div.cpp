@@ -1,0 +1,25 @@
+// Fixture: operand-dependent latency. Hardware division on key
+// material, a loop whose trip count is bounded by key material, and an
+// early return whose position reveals how far the scan matched — all
+// vartime-op.
+#include <cstdint>
+#include <vector>
+
+namespace fix_ct_vartime {
+
+std::uint64_t residue(std::uint64_t wrapped_key, std::uint64_t modulus) {
+  return wrapped_key % modulus;  // expect: vartime-op
+}
+
+int first_set_bit(const std::vector<std::uint64_t>& key_words) {
+  int index = 0;
+  for (const std::uint64_t word : key_words) {  // expect: vartime-op
+    if ((word & 1u) != 0) {
+      return index;  // expect: vartime-op
+    }
+    ++index;
+  }
+  return -1;
+}
+
+}  // namespace fix_ct_vartime

@@ -8,8 +8,9 @@ that ordinary compilers never check:
      keys, and wrapped/decrypted activation material must never flow
      into observability sinks (obs:: events, metrics, JSONL, stream
      output), and must never be compared with an early-exit comparison
-     (`==`, `!=`, `memcmp`); secret comparisons go through
-     analock::ct_equal (src/lock/ct_equal.h).
+     (`==`, `!=`); secret comparisons go through analock::ct_equal
+     (src/lock/ct_equal.h). Library calls such as memcmp/strcmp are
+     analock-verify's job (`ct-leak-call`), which has real dataflow.
   2. DETERMINISM -- every stochastic element draws from the seeded
      sim::Rng streams. Ambient entropy (rand(), std::random_device,
      time-seeded engines, wall-clock reads) and iteration-order-
@@ -36,7 +37,8 @@ and a fourth that guards the bit-exactness contract at the build level:
 Rules
 -----
   secret-flow           key material reaches a logging/metrics sink
-  secret-compare        ==/!=/memcmp on key material (use ct_equal)
+  secret-compare        ==/!= on key material (use ct_equal; memcmp
+                        is covered by analock-verify's ct-leak-call)
   determinism-rng       ambient RNG source (rand, random_device, ...)
   determinism-clock     ambient wall-clock read (steady_clock::now, ...)
   determinism-unordered std::unordered_* container (iteration order)
@@ -343,9 +345,6 @@ def statements(stripped: str):
 CMP_RE = re.compile(r"(?<![<>=!&|+\-*/%^])(==|!=)(?!=)")
 OPERAND_TAIL_RE = re.compile(r"[\w\)\]\.\>:]+\s*$")
 OPERAND_HEAD_RE = re.compile(r"^\s*[!~]*[\w\.\(:]+(?:(?:\.|->|::)\w+|\(\)|\[[^\]]{0,40}\])*")
-MEMCMP_RE = re.compile(r"\bmemcmp\s*\(")
-
-
 def check_secret_compare(stripped: str, line_starts: list[int], path: Path) -> list[Finding]:
     findings: list[Finding] = []
     for m in CMP_RE.finditer(stripped):
@@ -367,19 +366,10 @@ def check_secret_compare(stripped: str, line_starts: list[int], path: Path) -> l
                     "use analock::ct_equal (lock/ct_equal.h)",
                 )
             )
-    for m in MEMCMP_RE.finditer(stripped):
-        args, _ = balanced_args(stripped, m.end() - 1)
-        tainted = taint_in(args) or (KEY_TYPE_RE.search(args) and "Key64")
-        if tainted:
-            findings.append(
-                Finding(
-                    path,
-                    line_of(m.start(), line_starts),
-                    "secret-compare",
-                    f"memcmp on key material ({tainted}); use "
-                    "analock::ct_equal (lock/ct_equal.h)",
-                )
-            )
+    # memcmp/strcmp-family probes on key material are deliberately NOT
+    # flagged here: analock-verify's `ct-leak-call` rule owns known
+    # variable-time library callees, with real dataflow behind the
+    # operand check (see tools/README.md for the division of labor).
     return findings
 
 

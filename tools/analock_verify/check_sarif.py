@@ -113,9 +113,15 @@ def validate(doc: object, require_results: bool) -> list[str]:
                 rid = ""
             short = rule.get("shortDescription") if isinstance(
                 rule, dict) else None
+            # Every rule id must carry a NON-EMPTY human-readable
+            # description: code-scanning UIs render the id bare
+            # otherwise, and an empty string slips past a plain
+            # isinstance check.
             if not isinstance(short, dict) or not isinstance(
-                    short.get("text"), str):
-                fail(errors, f"rules[{i}]: missing shortDescription.text")
+                    short.get("text"), str) or not short["text"].strip():
+                fail(errors,
+                     f"rules[{i}] ('{rid}'): shortDescription.text missing "
+                     "or empty")
             rule_ids.append(rid)
     results = run.get("results")
     if not isinstance(results, list):

@@ -9,7 +9,8 @@
 #                                   safety, lock-order cycles, FP
 #                                   bit-exactness; built on demand)
 #   4. analock-verify self-test    (golden // expect: fixtures, including
-#                                   the parallelism fixtures)
+#                                   the parallelism and constant-time
+#                                   fixtures)
 #   5. SARIF structure check       (2.1.0 shape of both emitted logs)
 #   6. clang-tidy                  (curated .clang-tidy profile; skipped
 #                                   with a notice when not installed)
@@ -87,6 +88,9 @@ if [ -x "$VERIFY_BIN" ]; then
 
   run_stage "analock-verify: parallel fixture self-test" \
     "$VERIFY_BIN" --self-test "$ROOT/tests/verify_fixtures/parallel"
+
+  run_stage "analock-verify: constant-time fixture self-test" \
+    "$VERIFY_BIN" --self-test "$ROOT/tests/verify_fixtures/ct"
 
   # Fixture scan as a SARIF log: CI merges this with the src scan into
   # one artifact, and the schema check guards the emitter on a log that
